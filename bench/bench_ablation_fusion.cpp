@@ -1,0 +1,74 @@
+// Ablation (paper Sec. VI): can F=2 gate fusion save the gates baseline?
+//
+// The paper's argument: the LABS phase operator compiles to ~160n gates of
+// which many are 4-order ladders, fusion reduces the count but cannot
+// approach the precomputed diagonal, which needs only the n mixer passes.
+// This bench puts numbers to that argument: gate counts before/after
+// fusion, and the per-layer time of unfused / fused / precomputed paths.
+#include <benchmark/benchmark.h>
+
+#include "api/qokit.hpp"
+#include "gatesim/execute.hpp"
+#include "gatesim/fusion.hpp"
+
+namespace {
+
+using namespace qokit;
+
+Circuit labs_layer(int n, bool fused) {
+  const TermList terms = labs_terms(n);
+  const std::vector<double> g{0.31}, b{0.57};
+  Circuit c = compile_qaoa_circuit(terms, g, b, MixerType::X,
+                                   PhaseStyle::CxLadder, /*initial_h=*/false);
+  if (fused) c = fuse_gates(c);
+  return c;
+}
+
+void BM_Fusion_Unfused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit layer = labs_layer(n, false);
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    run_circuit(sv, layer);
+    benchmark::DoNotOptimize(sv.data());
+  }
+  state.counters["gates"] = static_cast<double>(layer.size());
+  state.counters["gates_per_n"] = static_cast<double>(layer.size()) / n;
+}
+BENCHMARK(BM_Fusion_Unfused)
+    ->DenseRange(10, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fusion_Fused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Circuit layer = labs_layer(n, true);
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    run_circuit(sv, layer);
+    benchmark::DoNotOptimize(sv.data());
+  }
+  state.counters["gates"] = static_cast<double>(layer.size());
+  state.counters["gates_per_n"] = static_cast<double>(layer.size()) / n;
+}
+BENCHMARK(BM_Fusion_Fused)
+    ->DenseRange(10, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fusion_PrecomputedDiagonal(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FurQaoaSimulator sim(labs_terms(n), {});
+  const std::vector<double> g{0.31}, b{0.57};
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    sv = sim.simulate_qaoa_from(std::move(sv), g, b);
+    benchmark::DoNotOptimize(sv.data());
+  }
+  state.counters["gates"] = static_cast<double>(n);  // only the mixer passes
+}
+BENCHMARK(BM_Fusion_PrecomputedDiagonal)
+    ->DenseRange(10, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

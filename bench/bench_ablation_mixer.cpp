@@ -1,0 +1,67 @@
+// Ablation (paper Sec. VII, comparison with its Ref. [43]): single-pass
+// in-place mixer (Algorithms 1-2) vs the FWHT -> diagonal -> FWHT route.
+//
+// The paper argues its mixer costs one fast-Walsh-Hadamard-equivalent pass
+// per layer where the Ref. [43] approach costs two transforms plus a
+// diagonal; expect a ~2x gap. Also includes the xy mixers so their
+// per-layer cost relative to the X mixer is on record (ring: n two-qubit
+// passes; complete: n(n-1)/2 passes).
+#include <benchmark/benchmark.h>
+
+#include "api/qokit.hpp"
+
+namespace {
+
+using namespace qokit;
+
+void BM_Mixer_SinglePass(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    apply_mixer_x(sv, 0.57, Exec::Parallel, MixerBackend::Fused);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Mixer_SinglePass)
+    ->DenseRange(16, 24, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Mixer_TwoTransformFwht(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    apply_mixer_x(sv, 0.57, Exec::Parallel, MixerBackend::Fwht);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Mixer_TwoTransformFwht)
+    ->DenseRange(16, 24, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Mixer_XyRing(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::dicke_state(n, n / 2);
+  for (auto _ : state) {
+    apply_mixer_xy_ring(sv, 0.57, Exec::Parallel);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Mixer_XyRing)
+    ->DenseRange(16, 22, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Mixer_XyComplete(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv = StateVector::dicke_state(n, n / 2);
+  for (auto _ : state) {
+    apply_mixer_xy_complete(sv, 0.57, Exec::Parallel);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Mixer_XyComplete)
+    ->DenseRange(16, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ablation (paper Sec. III-A): cost-vector precomputation strategies.
+//
+// Element-major parallelizes over the 2^n outputs with the term loop
+// inside (the paper's GPU-kernel layout: one thread owns one element,
+// perfect locality, no synchronization). Term-major streams the vector
+// once per term. Both are timed serial and parallel, on LABS (dense,
+// high-order term set) and on 3-regular MaxCut (sparse, 2-local).
+#include <benchmark/benchmark.h>
+
+#include "api/qokit.hpp"
+
+namespace {
+
+using namespace qokit;
+
+void run_precompute(benchmark::State& state, const TermList& terms, Exec exec,
+                    PrecomputeStrategy strategy) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostDiagonal::precompute(terms, exec, strategy));
+  }
+  state.counters["terms"] = static_cast<double>(terms.size());
+}
+
+void BM_Precompute_Labs_ElementMajor_Parallel(benchmark::State& state) {
+  run_precompute(state, labs_terms(static_cast<int>(state.range(0))),
+                 Exec::Parallel, PrecomputeStrategy::ElementMajor);
+}
+BENCHMARK(BM_Precompute_Labs_ElementMajor_Parallel)
+    ->DenseRange(14, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Precompute_Labs_ElementMajor_Serial(benchmark::State& state) {
+  run_precompute(state, labs_terms(static_cast<int>(state.range(0))),
+                 Exec::Serial, PrecomputeStrategy::ElementMajor);
+}
+BENCHMARK(BM_Precompute_Labs_ElementMajor_Serial)
+    ->DenseRange(14, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Precompute_Labs_TermMajor_Parallel(benchmark::State& state) {
+  run_precompute(state, labs_terms(static_cast<int>(state.range(0))),
+                 Exec::Parallel, PrecomputeStrategy::TermMajor);
+}
+BENCHMARK(BM_Precompute_Labs_TermMajor_Parallel)
+    ->DenseRange(14, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Precompute_MaxCut_ElementMajor_Parallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  run_precompute(state, maxcut_terms(Graph::random_regular(n, 3, 42)),
+                 Exec::Parallel, PrecomputeStrategy::ElementMajor);
+}
+BENCHMARK(BM_Precompute_MaxCut_ElementMajor_Parallel)
+    ->DenseRange(14, 22, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Precompute_FromFunction(benchmark::State& state) {
+  // The Python-lambda input path: arbitrary callable per element.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostDiagonal::from_function(
+        n, [n](std::uint64_t x) { return labs_energy(x, n); }));
+  }
+}
+BENCHMARK(BM_Precompute_FromFunction)
+    ->DenseRange(14, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Fig. 3 reproduction: time to apply a single QAOA layer for the LABS
+// problem across simulator families.
+//
+// Series mapping (paper -> ours):
+//   QOKit               -> FurLayer        (phase multiply + fused mixer;
+//                                           precompute excluded, as in the
+//                                           paper)
+//   QOKit (cuStateVec)  -> FurLayerAltMixer(the alternative mixer backend;
+//                                           here the FWHT route)
+//   Qiskit / cuStateVec -> GatesLayer      (CX-ladder circuit, per gate)
+//   (gates, fused)      -> GatesLayerFused (F=2 fusion before execution)
+//   cuTensorNet/QTensor -> TnLayer         (amplitude contraction at p = 3,
+//                                           divided by p, as the paper does)
+//
+// Expected shape: precompute-based layers are orders of magnitude cheaper
+// than gate-based for n >~ 14, and TN is the slowest for deep circuits.
+#include <benchmark/benchmark.h>
+
+#include "api/qokit.hpp"
+#include "gatesim/execute.hpp"
+#include "gatesim/fusion.hpp"
+#include "tn/contract.hpp"
+
+namespace {
+
+using namespace qokit;
+
+void BM_Fig3_FurLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FurQaoaSimulator sim(labs_terms(n), {});
+  const std::vector<double> g{0.31}, b{0.57};
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    sv = sim.simulate_qaoa_from(std::move(sv), g, b);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Fig3_FurLayer)
+    ->DenseRange(6, 24, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_FurLayerAltMixer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FurQaoaSimulator sim(labs_terms(n),
+                             {.backend = MixerBackend::Fwht});
+  const std::vector<double> g{0.31}, b{0.57};
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    sv = sim.simulate_qaoa_from(std::move(sv), g, b);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Fig3_FurLayerAltMixer)
+    ->DenseRange(6, 24, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_GatesLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TermList terms = labs_terms(n);
+  const std::vector<double> g{0.31}, b{0.57};
+  const Circuit layer = compile_qaoa_circuit(terms, g, b, MixerType::X,
+                                             PhaseStyle::CxLadder,
+                                             /*initial_h=*/false);
+  state.counters["gates"] = static_cast<double>(layer.size());
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    run_circuit(sv, layer);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Fig3_GatesLayer)
+    ->DenseRange(6, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_GatesLayerFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const TermList terms = labs_terms(n);
+  const std::vector<double> g{0.31}, b{0.57};
+  const Circuit layer = fuse_gates(compile_qaoa_circuit(
+      terms, g, b, MixerType::X, PhaseStyle::CxLadder, /*initial_h=*/false));
+  state.counters["gates"] = static_cast<double>(layer.size());
+  StateVector sv = StateVector::plus_state(n);
+  for (auto _ : state) {
+    run_circuit(sv, layer);
+    benchmark::DoNotOptimize(sv.data());
+  }
+}
+BENCHMARK(BM_Fig3_GatesLayerFused)
+    ->DenseRange(6, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_TnLayer(benchmark::State& state) {
+  // Paper methodology: contract a single amplitude of a depth-p circuit and
+  // divide by p.
+  const int n = static_cast<int>(state.range(0));
+  const int p = 3;
+  const TermList terms = labs_terms(n);
+  const std::vector<double> g(p, 0.31), b(p, 0.57);
+  const Circuit c = compile_qaoa_circuit(terms, g, b, MixerType::X,
+                                         PhaseStyle::MultiZ,
+                                         /*initial_h=*/false);
+  tn::ContractionStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tn::amplitude(c, 0, /*plus_input=*/true, &stats));
+  }
+  // Reported time covers p layers; divide by `layers` for the per-layer
+  // number plotted in Fig. 3.
+  state.counters["layers"] = p;
+  state.counters["width"] = static_cast<double>(stats.max_rank);
+}
+BENCHMARK(BM_Fig3_TnLayer)
+    ->DenseRange(6, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Distributed simulation demo (paper Sec. III-C, Algorithm 4).
+//
+// Runs the same LABS QAOA over 1..8 virtual ranks with both alltoall
+// transports, verifies every configuration agrees with the single-node
+// simulator bit-for-bit (to fp tolerance), and prints per-layer timings.
+#include <cstdio>
+
+#include "api/qokit.hpp"
+
+int main() {
+  using namespace qokit;
+
+  const int n = 18;
+  const TermList terms = labs_terms(n);
+  const QaoaParams params = linear_ramp(2, 0.9);
+
+  const FurQaoaSimulator single(terms, {});
+  const StateVector reference =
+      single.simulate_qaoa(params.gammas, params.betas);
+  const double e_ref = single.get_expectation(reference);
+  std::printf("single-node reference: n = %d, p = %d, <E> = %.6f\n", n,
+              params.p(), e_ref);
+
+  std::printf("%6s %10s %14s %14s %12s\n", "K", "strategy", "<E>", "max|diff|",
+              "time (s)");
+  for (int k : {1, 2, 4, 8}) {
+    for (const auto strategy :
+         {AlltoallStrategy::Staged, AlltoallStrategy::Pairwise}) {
+      const DistributedFurSimulator sim(terms,
+                                        {.ranks = k, .strategy = strategy});
+      WallTimer timer;
+      const StateVector result =
+          sim.simulate_qaoa(params.gammas, params.betas);
+      const double secs = timer.seconds();
+      const double e = sim.get_expectation(result);
+      std::printf("%6d %10s %14.6f %14.3e %12.4f\n", k,
+                  strategy == AlltoallStrategy::Staged ? "staged" : "pairwise",
+                  e, result.max_abs_diff(reference), secs);
+    }
+  }
+  std::printf("all configurations must agree to ~1e-12.\n");
+  return 0;
+}

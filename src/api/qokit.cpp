@@ -1,0 +1,73 @@
+#include "api/qokit.hpp"
+
+namespace qokit::api {
+
+double qaoa_maxcut_expectation(const Graph& g, std::span<const double> gammas,
+                               std::span<const double> betas,
+                               std::string_view simulator) {
+  const TermList terms = maxcut_terms(g);
+  const auto sim = choose_simulator(terms, simulator);
+  const StateVector result = sim->simulate_qaoa(gammas, betas);
+  return sim->get_expectation(result);
+}
+
+LabsEvaluation qaoa_labs_evaluate(int n, std::span<const double> gammas,
+                                  std::span<const double> betas,
+                                  std::string_view simulator) {
+  const TermList terms = labs_terms(n);
+  const auto sim = choose_simulator(terms, simulator);
+  const StateVector result = sim->simulate_qaoa(gammas, betas);
+  LabsEvaluation out;
+  out.expectation = sim->get_expectation(result);
+  out.ground_overlap = sim->get_overlap(result);
+  out.min_energy = sim->get_cost_diagonal().min_value();
+  return out;
+}
+
+double qaoa_portfolio_expectation(const PortfolioInstance& inst,
+                                  std::span<const double> gammas,
+                                  std::span<const double> betas,
+                                  std::string_view simulator) {
+  const TermList terms = portfolio_terms(inst);
+  const auto sim = choose_simulator_xyring(terms, simulator, inst.budget);
+  const StateVector result = sim->simulate_qaoa(gammas, betas);
+  return sim->get_expectation(result);
+}
+
+SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
+                                std::span<const double> gammas,
+                                std::span<const double> betas,
+                                std::string_view simulator) {
+  const TermList terms = sat_terms(inst);
+  const auto sim = choose_simulator(terms, simulator);
+  const StateVector result = sim->simulate_qaoa(gammas, betas);
+  const CostDiagonal& d = sim->get_cost_diagonal();
+  SatEvaluation out;
+  out.expected_violations = sim->get_expectation(result);
+  out.satisfiable = d.min_value() < 0.5;
+  // Probability mass on exactly-zero-violation strings (clause counts are
+  // integers, so < 0.5 identifies them robustly).
+  double mass = 0.0;
+  for (std::uint64_t x = 0; x < d.size(); ++x)
+    if (d[x] < 0.5) mass += std::norm(result[x]);
+  out.p_satisfied = mass;
+  return out;
+}
+
+OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
+                              NelderMeadOptions opts,
+                              std::string_view simulator) {
+  const auto sim = choose_simulator(terms, simulator);
+  QaoaObjective objective(*sim, p);
+  const QaoaParams init = linear_ramp(p);
+  const OptResult r = nelder_mead(
+      [&objective](const std::vector<double>& x) { return objective(x); },
+      init.flatten(), opts);
+  OptimizeOutcome out;
+  out.params = QaoaParams::unflatten(r.x);
+  out.fval = r.fval;
+  out.evaluations = objective.evaluations();
+  return out;
+}
+
+}  // namespace qokit::api

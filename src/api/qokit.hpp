@@ -1,0 +1,85 @@
+// qokit-cpp umbrella header and the "easy-to-use one-line methods" of
+// paper Sec. IV: MaxCut, LABS and portfolio-optimization QAOA simulation
+// in a single call each, plus a one-call parameter-optimization driver.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "diagonal/ops.hpp"
+#include "dist/dist_fur.hpp"
+#include "fur/fwht.hpp"
+#include "fur/simulator.hpp"
+#include "fur/symmetry.hpp"
+#include "gatesim/simulator.hpp"
+#include "optimize/grid.hpp"
+#include "optimize/labs_params.hpp"
+#include "optimize/nelder_mead.hpp"
+#include "optimize/objective.hpp"
+#include "optimize/params.hpp"
+#include "optimize/spsa.hpp"
+#include "problems/graph.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/portfolio.hpp"
+#include "problems/sat.hpp"
+#include "problems/sk.hpp"
+#include "statevector/sampling.hpp"
+#include "terms/term.hpp"
+
+namespace qokit::api {
+
+/// QAOA objective for MaxCut on `g` at the given schedule (Listing 1).
+/// Returns <C> with C = -cut, so -return is the expected cut weight.
+double qaoa_maxcut_expectation(const Graph& g, std::span<const double> gammas,
+                               std::span<const double> betas,
+                               std::string_view simulator = "auto");
+
+/// Result of the one-line LABS evaluation (Listing 3 semantics).
+struct LabsEvaluation {
+  double expectation = 0.0;    ///< <E(s)> over the QAOA state
+  double ground_overlap = 0.0; ///< probability of an optimal sequence
+  double min_energy = 0.0;     ///< optimum from the precomputed diagonal
+};
+
+/// Simulate LABS QAOA and report expectation + ground-state overlap.
+LabsEvaluation qaoa_labs_evaluate(int n, std::span<const double> gammas,
+                                  std::span<const double> betas,
+                                  std::string_view simulator = "auto");
+
+/// Portfolio-optimization objective under the ring-XY mixer started from
+/// the in-budget Dicke state (Listing 2 semantics).
+double qaoa_portfolio_expectation(const PortfolioInstance& inst,
+                                  std::span<const double> gammas,
+                                  std::span<const double> betas,
+                                  std::string_view simulator = "auto");
+
+/// Result of the one-line k-SAT evaluation.
+struct SatEvaluation {
+  double expected_violations = 0.0;  ///< <number of violated clauses>
+  double p_satisfied = 0.0;          ///< probability of a satisfying string
+  bool satisfiable = false;          ///< instance has a zero-cost string
+};
+
+/// Simulate QAOA on a k-SAT instance (the paper's Ref. [4] workload) and
+/// report expected violations plus the satisfying-assignment probability.
+SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
+                                std::span<const double> gammas,
+                                std::span<const double> betas,
+                                std::string_view simulator = "auto");
+
+/// One-call parameter optimization: build the fast simulator for `terms`,
+/// start from a linear-ramp schedule at depth p, run Nelder-Mead.
+struct OptimizeOutcome {
+  QaoaParams params;      ///< optimized schedule
+  double fval = 0.0;      ///< optimized objective
+  int evaluations = 0;    ///< simulator calls spent
+};
+OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
+                              NelderMeadOptions opts = {},
+                              std::string_view simulator = "auto");
+
+}  // namespace qokit::api

@@ -1,0 +1,51 @@
+// Thin OpenMP wrapper: every hot loop in qokit-cpp goes through
+// parallel_for / parallel_reduce so serial-vs-threaded execution is a policy
+// choice of the caller (the paper's `python` vs `c`/GPU simulator split).
+#pragma once
+
+#include <cstdint>
+#include <omp.h>
+
+namespace qokit {
+
+/// Execution policy threaded through all kernels. `Serial` mirrors the
+/// paper's portable reference simulator; `Parallel` the optimized one.
+enum class Exec { Serial, Parallel };
+
+/// Number of OpenMP threads a Parallel region will use.
+inline int max_threads() { return omp_get_max_threads(); }
+
+/// Loops shorter than this run serially even under Exec::Parallel; OpenMP
+/// team dispatch costs ~10us, so threading pays off only once a loop does
+/// tens of thousands of element updates (important for gate-at-a-time
+/// baselines, which dispatch per gate).
+inline constexpr std::int64_t kParallelGrain = 1 << 15;
+
+/// Apply `f(i)` for i in [begin, end).
+template <class F>
+void parallel_for(Exec exec, std::int64_t begin, std::int64_t end, F&& f) {
+  if (end <= begin) return;
+  if (exec == Exec::Serial || end - begin < kParallelGrain) {
+    for (std::int64_t i = begin; i < end; ++i) f(i);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = begin; i < end; ++i) f(i);
+}
+
+/// Sum of `f(i)` for i in [begin, end).
+template <class F>
+double parallel_reduce_sum(Exec exec, std::int64_t begin, std::int64_t end,
+                           F&& f) {
+  double acc = 0.0;
+  if (end <= begin) return acc;
+  if (exec == Exec::Serial || end - begin < kParallelGrain) {
+    for (std::int64_t i = begin; i < end; ++i) acc += f(i);
+    return acc;
+  }
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::int64_t i = begin; i < end; ++i) acc += f(i);
+  return acc;
+}
+
+}  // namespace qokit

@@ -1,0 +1,52 @@
+// Deterministic random number generation for workload builders and tests.
+//
+// Uses xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded via
+// SplitMix64, so problem instances are reproducible across platforms and
+// independent of libstdc++'s distribution implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qokit {
+
+/// Small, fast, reproducible PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seed deterministically; the same seed yields the same stream everywhere.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t uniform_int(std::uint64_t bound);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qokit

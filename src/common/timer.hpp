@@ -1,0 +1,26 @@
+// Monotonic wall-clock timer used by the benchmark harness and examples.
+#pragma once
+
+#include <chrono>
+
+namespace qokit {
+
+/// Stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace qokit

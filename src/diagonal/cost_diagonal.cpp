@@ -1,0 +1,83 @@
+#include "diagonal/cost_diagonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+CostDiagonal CostDiagonal::precompute(const TermList& terms, Exec exec,
+                                      PrecomputeStrategy strategy) {
+  CostDiagonal d;
+  d.n_ = terms.num_qubits();
+  const std::int64_t dim = static_cast<std::int64_t>(dim_of(d.n_));
+  d.values_.assign(dim, 0.0);
+  double* out = d.values_.data();
+  const Term* ts = terms.terms().data();
+  const std::size_t nt = terms.size();
+
+  if (strategy == PrecomputeStrategy::ElementMajor) {
+    // One thread owns one output element: the GPU-kernel layout of the
+    // paper, and the layout reused verbatim for distributed slices.
+    parallel_for(exec, 0, dim, [&](std::int64_t x) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < nt; ++k)
+        acc += ts[k].weight * parity_sign(static_cast<std::uint64_t>(x),
+                                          ts[k].mask);
+      out[x] = acc;
+    });
+  } else {
+    // Term-major ablation: stream the whole vector once per term.
+    for (std::size_t k = 0; k < nt; ++k) {
+      const double w = ts[k].weight;
+      const std::uint64_t mask = ts[k].mask;
+      parallel_for(exec, 0, dim, [&](std::int64_t x) {
+        out[x] += w * parity_sign(static_cast<std::uint64_t>(x), mask);
+      });
+    }
+  }
+  return d;
+}
+
+CostDiagonal CostDiagonal::from_function(
+    int num_qubits, const std::function<double(std::uint64_t)>& f, Exec exec) {
+  CostDiagonal d;
+  d.n_ = num_qubits;
+  const std::int64_t dim = static_cast<std::int64_t>(dim_of(num_qubits));
+  d.values_.assign(dim, 0.0);
+  double* out = d.values_.data();
+  parallel_for(exec, 0, dim, [&](std::int64_t x) {
+    out[x] = f(static_cast<std::uint64_t>(x));
+  });
+  return d;
+}
+
+CostDiagonal CostDiagonal::from_values(int num_qubits,
+                                       aligned_vector<double> values) {
+  if (values.size() != dim_of(num_qubits))
+    throw std::invalid_argument("from_values: size must be 2^n");
+  CostDiagonal d;
+  d.n_ = num_qubits;
+  d.values_ = std::move(values);
+  return d;
+}
+
+double CostDiagonal::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double CostDiagonal::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::uint64_t CostDiagonal::ground_state_count(double tol) const {
+  const double lo = min_value();
+  std::uint64_t count = 0;
+  for (double v : values_)
+    if (v <= lo + tol) ++count;
+  return count;
+}
+
+}  // namespace qokit

@@ -1,0 +1,73 @@
+// Precomputed diagonal of the problem Hamiltonian C-hat (paper Sec. III-A).
+//
+// The 2^n cost vector stores f(x) for every basis state x. It is computed
+// once per problem and reused for (1) every phase-operator application,
+// which becomes a single elementwise multiply by e^{-i gamma c_x}, and
+// (2) every objective evaluation, which becomes one inner product. This is
+// the paper's central optimization: it removes the |T|-dependent per-layer
+// gate cost that dominates gate-based simulators at high depth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/aligned.hpp"
+#include "common/parallel.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Loop ordering of the precompute kernel.
+///
+/// ElementMajor parallelizes over the 2^n vector elements with the term loop
+/// inside — each element is written once, by one thread (the locality the
+/// paper exploits on GPUs and across nodes). TermMajor loops terms outside
+/// and streams the vector inside; it is provided as an ablation.
+enum class PrecomputeStrategy { ElementMajor, TermMajor };
+
+/// The 2^n cost vector c_x = f(x).
+class CostDiagonal {
+ public:
+  CostDiagonal() = default;
+
+  /// Precompute from polynomial terms (Eq. 1). Each element is a sum of
+  /// weight * (-1)^{popcount(x & mask)} over terms — the bitwise-XOR /
+  /// population-count kernel of Sec. III-A.
+  static CostDiagonal precompute(
+      const TermList& terms, Exec exec = Exec::Parallel,
+      PrecomputeStrategy strategy = PrecomputeStrategy::ElementMajor);
+
+  /// Precompute from an arbitrary callable f(x) (the Python-lambda input
+  /// path of QOKit's high-level API).
+  static CostDiagonal from_function(int num_qubits,
+                                    const std::function<double(std::uint64_t)>& f,
+                                    Exec exec = Exec::Parallel);
+
+  /// Wrap existing values (the `costs` constructor argument in Listing 1).
+  static CostDiagonal from_values(int num_qubits,
+                                  aligned_vector<double> values);
+
+  int num_qubits() const noexcept { return n_; }
+  std::uint64_t size() const noexcept { return values_.size(); }
+  double operator[](std::uint64_t x) const noexcept { return values_[x]; }
+  const double* data() const noexcept { return values_.data(); }
+  const aligned_vector<double>& values() const noexcept { return values_; }
+
+  /// Minimum cost (the optimal objective value f(x*)).
+  double min_value() const;
+
+  /// Maximum cost.
+  double max_value() const;
+
+  /// Number of basis states attaining the minimum within `tol`.
+  std::uint64_t ground_state_count(double tol = 1e-9) const;
+
+  /// Memory held by the vector in bytes (2^n * 8 for double storage).
+  std::uint64_t memory_bytes() const noexcept { return size() * sizeof(double); }
+
+ private:
+  int n_ = 0;
+  aligned_vector<double> values_;
+};
+
+}  // namespace qokit

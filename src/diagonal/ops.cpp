@@ -1,0 +1,99 @@
+#include "diagonal/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+void check_dims(std::uint64_t a, std::uint64_t b, const char* what) {
+  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+
+}  // namespace
+
+void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
+                 Exec exec) {
+  check_dims(sv.size(), diag.size(), "apply_phase");
+  cdouble* amp = sv.data();
+  const double* c = diag.data();
+  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
+               [amp, c, gamma](std::int64_t i) {
+                 const double ang = -gamma * c[i];
+                 amp[i] *= cdouble(std::cos(ang), std::sin(ang));
+               });
+}
+
+void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
+                 Exec exec) {
+  check_dims(sv.size(), diag.size(), "apply_phase(u16)");
+  const auto lut = diag.phase_table(gamma);
+  cdouble* amp = sv.data();
+  const std::uint16_t* codes = diag.codes();
+  const cdouble* table = lut.data();
+  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
+               [amp, codes, table](std::int64_t i) {
+                 amp[i] *= table[codes[i]];
+               });
+}
+
+double expectation(const StateVector& sv, const CostDiagonal& diag,
+                   Exec exec) {
+  check_dims(sv.size(), diag.size(), "expectation");
+  const cdouble* amp = sv.data();
+  const double* c = diag.data();
+  return parallel_reduce_sum(
+      exec, 0, static_cast<std::int64_t>(sv.size()),
+      [amp, c](std::int64_t i) { return std::norm(amp[i]) * c[i]; });
+}
+
+double expectation(const StateVector& sv, const DiagonalU16& diag,
+                   Exec exec) {
+  check_dims(sv.size(), diag.size(), "expectation(u16)");
+  const cdouble* amp = sv.data();
+  const std::uint16_t* codes = diag.codes();
+  const double off = diag.offset();
+  const double sc = diag.scale();
+  return parallel_reduce_sum(exec, 0, static_cast<std::int64_t>(sv.size()),
+                             [amp, codes, off, sc](std::int64_t i) {
+                               return std::norm(amp[i]) *
+                                      (off + sc * codes[i]);
+                             });
+}
+
+double expectation_terms(const StateVector& sv, const TermList& terms,
+                         Exec exec) {
+  if (terms.num_qubits() != sv.num_qubits())
+    throw std::invalid_argument("expectation_terms: qubit-count mismatch");
+  const cdouble* amp = sv.data();
+  double total = terms.offset();  // constant term, <1> = norm = 1
+  for (const Term& t : terms) {
+    if (t.mask == 0) continue;
+    const std::uint64_t mask = t.mask;
+    const double z = parallel_reduce_sum(
+        exec, 0, static_cast<std::int64_t>(sv.size()),
+        [amp, mask](std::int64_t i) {
+          return std::norm(amp[i]) *
+                 parity_sign(static_cast<std::uint64_t>(i), mask);
+        });
+    total += t.weight * z;
+  }
+  return total;
+}
+
+double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
+                      double tol, Exec exec) {
+  check_dims(sv.size(), diag.size(), "overlap_ground");
+  const double lo = diag.min_value();
+  const cdouble* amp = sv.data();
+  const double* c = diag.data();
+  return parallel_reduce_sum(
+      exec, 0, static_cast<std::int64_t>(sv.size()),
+      [amp, c, lo, tol](std::int64_t i) {
+        return c[i] <= lo + tol ? std::norm(amp[i]) : 0.0;
+      });
+}
+
+}  // namespace qokit

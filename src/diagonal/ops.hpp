@@ -1,0 +1,43 @@
+// Operations that consume the precomputed diagonal (paper Fig. 1): the
+// phase operator (one elementwise multiply), the QAOA objective (one inner
+// product) and the ground-state overlap. Also the *non*-precomputed
+// expectation over raw terms, which is the objective-evaluation cost a
+// gate-based baseline pays on every call.
+#pragma once
+
+#include "diagonal/cost_diagonal.hpp"
+#include "diagonal/diagonal_u16.hpp"
+#include "statevector/state.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Phase operator e^{-i gamma C}: amp_x *= e^{-i gamma c_x}.
+void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
+                 Exec exec = Exec::Parallel);
+
+/// Phase operator through the uint16 codec: a 65536-entry phase lookup
+/// table is built once per call and gathered per amplitude.
+void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
+                 Exec exec = Exec::Parallel);
+
+/// QAOA objective <psi|C|psi> = sum_x |amp_x|^2 c_x (paper's reused inner
+/// product; O(2^n), independent of |T|).
+double expectation(const StateVector& sv, const CostDiagonal& diag,
+                   Exec exec = Exec::Parallel);
+
+/// Objective through the uint16 codec.
+double expectation(const StateVector& sv, const DiagonalU16& diag,
+                   Exec exec = Exec::Parallel);
+
+/// Objective evaluated from raw terms, sum_k w_k <prod Z> -- the
+/// O(|T| 2^n) path a framework without precomputation executes per call.
+double expectation_terms(const StateVector& sv, const TermList& terms,
+                         Exec exec = Exec::Parallel);
+
+/// Ground-state overlap: total probability on basis states whose cost is
+/// within `tol` of the diagonal minimum (QOKit's get_overlap).
+double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
+                      double tol = 1e-9, Exec exec = Exec::Parallel);
+
+}  // namespace qokit

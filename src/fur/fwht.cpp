@@ -1,0 +1,31 @@
+#include "fur/fwht.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "fur/su2.hpp"
+
+namespace qokit {
+
+void fwht(StateVector& sv, Exec exec) {
+  for (int q = 0; q < sv.num_qubits(); ++q)
+    kern::hadamard(sv.data(), sv.size(), q, exec);
+}
+
+void apply_mixer_x_fwht(StateVector& sv, double beta, Exec exec) {
+  const int n = sv.num_qubits();
+  fwht(sv, exec);
+  // In the Hadamard frame the mixer is diagonal with eigenvalue
+  // sum_i (1 - 2 b_i) = n - 2 popcount(x) on basis state x.
+  cdouble* amp = sv.data();
+  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
+               [amp, beta, n](std::int64_t i) {
+                 const double lam =
+                     n - 2 * popcount(static_cast<std::uint64_t>(i));
+                 const double ang = -beta * lam;
+                 amp[i] *= cdouble(std::cos(ang), std::sin(ang));
+               });
+  fwht(sv, exec);
+}
+
+}  // namespace qokit

@@ -1,0 +1,26 @@
+// Fast Walsh-Hadamard transform and the two-transform mixer of the paper's
+// Ref. [43] (Sack & Serbyn), kept as an ablation baseline.
+//
+// The transverse-field mixer factors as e^{-i b sum X} =
+// H^{(x)n} e^{-i b sum Z} H^{(x)n}: a forward FWHT, a diagonal phase
+// e^{-i b (n - 2 popcount(x))}, and an inverse FWHT. That costs two full
+// transforms per layer where Algorithms 1-2 cost one transform-equivalent
+// pass; the paper's closing discussion credits its mixer with exactly this
+// 2x saving (plus working in place).
+#pragma once
+
+#include "common/parallel.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit {
+
+/// In-place orthonormal Walsh-Hadamard transform (H on every qubit).
+/// Self-inverse. Equals Algorithm 2 with U_i = H for all i.
+void fwht(StateVector& sv, Exec exec = Exec::Parallel);
+
+/// Transverse-field mixer e^{-i beta sum_i X_i} via FWHT -> diagonal ->
+/// FWHT. Numerically identical to apply_mixer_x; ~2x the transform work.
+void apply_mixer_x_fwht(StateVector& sv, double beta,
+                        Exec exec = Exec::Parallel);
+
+}  // namespace qokit

@@ -1,0 +1,69 @@
+#include "fur/mixers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fur/fwht.hpp"
+#include "fur/su2.hpp"
+#include "fur/su4.hpp"
+
+namespace qokit {
+
+void apply_mixer_x(StateVector& sv, double beta, Exec exec,
+                   MixerBackend backend) {
+  if (backend == MixerBackend::Fwht) {
+    apply_mixer_x_fwht(sv, beta, exec);
+    return;
+  }
+  const double c = std::cos(beta);
+  const double s = std::sin(beta);
+  for (int q = 0; q < sv.num_qubits(); ++q)
+    kern::rx(sv.data(), sv.size(), q, c, s, exec);
+}
+
+void apply_mixer_x_multiangle(StateVector& sv, std::span<const double> betas,
+                              Exec exec) {
+  if (static_cast<int>(betas.size()) != sv.num_qubits())
+    throw std::invalid_argument(
+        "apply_mixer_x_multiangle: need one beta per qubit");
+  for (int q = 0; q < sv.num_qubits(); ++q)
+    kern::rx(sv.data(), sv.size(), q, std::cos(betas[q]), std::sin(betas[q]),
+             exec);
+}
+
+void apply_mixer_xy_ring(StateVector& sv, double beta, Exec exec) {
+  const int n = sv.num_qubits();
+  if (n < 3) throw std::invalid_argument("xy_ring mixer: need n >= 3");
+  const double c = std::cos(beta);
+  const double s = std::sin(beta);
+  for (int i = 0; i < n; ++i)
+    kern::xy(sv.data(), sv.size(), i, (i + 1) % n, c, s, exec);
+}
+
+void apply_mixer_xy_complete(StateVector& sv, double beta, Exec exec) {
+  const int n = sv.num_qubits();
+  if (n < 2) throw std::invalid_argument("xy_complete mixer: need n >= 2");
+  const double c = std::cos(beta);
+  const double s = std::sin(beta);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      kern::xy(sv.data(), sv.size(), i, j, c, s, exec);
+}
+
+void apply_mixer(StateVector& sv, MixerType type, double beta, Exec exec,
+                 MixerBackend backend) {
+  switch (type) {
+    case MixerType::X:
+      apply_mixer_x(sv, beta, exec, backend);
+      return;
+    case MixerType::XYRing:
+      apply_mixer_xy_ring(sv, beta, exec);
+      return;
+    case MixerType::XYComplete:
+      apply_mixer_xy_complete(sv, beta, exec);
+      return;
+  }
+  throw std::logic_error("apply_mixer: unknown mixer type");
+}
+
+}  // namespace qokit

@@ -1,0 +1,175 @@
+#include "fur/simulator.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "diagonal/ops.hpp"
+
+namespace qokit {
+
+StateVector QaoaFastSimulatorBase::simulate_qaoa(
+    std::span<const double> gammas, std::span<const double> betas) const {
+  return simulate_qaoa_from(initial_state(), gammas, betas);
+}
+
+double QaoaFastSimulatorBase::get_expectation(const StateVector& result,
+                                              const CostDiagonal& costs)
+    const {
+  return expectation(result, costs);
+}
+
+double QaoaFastSimulatorBase::get_overlap(const StateVector& result,
+                                          const CostDiagonal& costs) const {
+  return overlap_ground(result, costs);
+}
+
+std::vector<double> per_layer_expectations(const QaoaFastSimulatorBase& sim,
+                                           std::span<const double> gammas,
+                                           std::span<const double> betas) {
+  if (gammas.size() != betas.size())
+    throw std::invalid_argument("per_layer_expectations: length mismatch");
+  std::vector<double> trace;
+  trace.reserve(gammas.size());
+  StateVector state = sim.initial_state();
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    state = sim.simulate_qaoa_from(std::move(state), gammas.subspan(l, 1),
+                                   betas.subspan(l, 1));
+    trace.push_back(sim.get_expectation(state));
+  }
+  return trace;
+}
+
+FurQaoaSimulator::FurQaoaSimulator(const TermList& terms, FurConfig cfg)
+    : cfg_(cfg),
+      diag_(CostDiagonal::precompute(terms, cfg.exec, cfg.precompute)) {
+  if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
+}
+
+FurQaoaSimulator::FurQaoaSimulator(CostDiagonal costs, FurConfig cfg)
+    : cfg_(cfg), diag_(std::move(costs)) {
+  if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
+}
+
+StateVector FurQaoaSimulator::initial_state() const {
+  const int n = num_qubits();
+  if (cfg_.mixer == MixerType::X) return StateVector::plus_state(n);
+  const int k = cfg_.initial_weight >= 0 ? cfg_.initial_weight : n / 2;
+  return StateVector::dicke_state(n, k);
+}
+
+StateVector FurQaoaSimulator::simulate_qaoa_from(
+    StateVector state, std::span<const double> gammas,
+    std::span<const double> betas) const {
+  if (gammas.size() != betas.size())
+    throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
+  if (state.num_qubits() != num_qubits())
+    throw std::invalid_argument("simulate_qaoa: state size mismatch");
+  // Algorithm 3: per layer, one elementwise phase multiply from the cached
+  // diagonal and one in-place mixer transform. Nothing scales with |T|.
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    if (cfg_.use_u16)
+      apply_phase(state, diag16_, gammas[l], cfg_.exec);
+    else
+      apply_phase(state, diag_, gammas[l], cfg_.exec);
+    apply_mixer(state, cfg_.mixer, betas[l], cfg_.exec, cfg_.backend);
+  }
+  return state;
+}
+
+double FurQaoaSimulator::get_expectation(const StateVector& result) const {
+  if (cfg_.use_u16) return expectation(result, diag16_, cfg_.exec);
+  return expectation(result, diag_, cfg_.exec);
+}
+
+double FurQaoaSimulator::get_overlap(const StateVector& result,
+                                     int restrict_weight) const {
+  if (restrict_weight < 0) return overlap_ground(result, diag_, 1e-9, cfg_.exec);
+  // Sector-restricted ground states: minimum over the Hamming-weight-k
+  // slice (xy mixers never leave it).
+  double lo = 0.0;
+  bool found = false;
+  for (std::uint64_t x = 0; x < diag_.size(); ++x) {
+    if (popcount(x) != restrict_weight) continue;
+    if (!found || diag_[x] < lo) {
+      lo = diag_[x];
+      found = true;
+    }
+  }
+  if (!found) throw std::invalid_argument("get_overlap: empty weight sector");
+  double mass = 0.0;
+  for (std::uint64_t x = 0; x < diag_.size(); ++x)
+    if (popcount(x) == restrict_weight && diag_[x] <= lo + 1e-9)
+      mass += std::norm(result[x]);
+  return mass;
+}
+
+const DiagonalU16& FurQaoaSimulator::diagonal_u16() const {
+  if (!cfg_.use_u16)
+    throw std::logic_error("diagonal_u16: simulator not in u16 mode");
+  return diag16_;
+}
+
+StateVector simulate_ma_qaoa(const FurQaoaSimulator& sim,
+                             std::span<const double> gammas,
+                             std::span<const double> betas) {
+  const int n = sim.num_qubits();
+  if (sim.config().mixer != MixerType::X)
+    throw std::invalid_argument("simulate_ma_qaoa: X mixer only");
+  if (betas.size() != gammas.size() * static_cast<std::size_t>(n))
+    throw std::invalid_argument("simulate_ma_qaoa: need p*n mixer angles");
+  StateVector state = sim.initial_state();
+  const Exec exec = sim.config().exec;
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    apply_phase(state, sim.get_cost_diagonal(), gammas[l], exec);
+    apply_mixer_x_multiangle(state, betas.subspan(l * n, n), exec);
+  }
+  return state;
+}
+
+namespace {
+
+FurConfig config_for_name(std::string_view name, MixerType mixer,
+                          int initial_weight) {
+  FurConfig cfg;
+  cfg.mixer = mixer;
+  cfg.initial_weight = initial_weight;
+  if (name == "auto" || name == "threaded") {
+    cfg.exec = Exec::Parallel;
+  } else if (name == "serial") {
+    cfg.exec = Exec::Serial;
+  } else if (name == "u16") {
+    cfg.exec = Exec::Parallel;
+    cfg.use_u16 = true;
+  } else if (name == "fwht") {
+    if (mixer != MixerType::X)
+      throw std::invalid_argument("fwht backend supports only the X mixer");
+    cfg.exec = Exec::Parallel;
+    cfg.backend = MixerBackend::Fwht;
+  } else {
+    throw std::invalid_argument("choose_simulator: unknown name '" +
+                                std::string(name) + "'");
+  }
+  return cfg;
+}
+
+}  // namespace
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator(const TermList& terms,
+                                                        std::string_view name) {
+  return std::make_unique<FurQaoaSimulator>(
+      terms, config_for_name(name, MixerType::X, -1));
+}
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xyring(
+    const TermList& terms, std::string_view name, int initial_weight) {
+  return std::make_unique<FurQaoaSimulator>(
+      terms, config_for_name(name, MixerType::XYRing, initial_weight));
+}
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xycomplete(
+    const TermList& terms, std::string_view name, int initial_weight) {
+  return std::make_unique<FurQaoaSimulator>(
+      terms, config_for_name(name, MixerType::XYComplete, initial_weight));
+}
+
+}  // namespace qokit

@@ -1,0 +1,156 @@
+// The QAOA fast-simulator class hierarchy (paper Sec. IV).
+//
+// Mirrors QOKit's Python API: an abstract base
+// (qokit.fur.QAOAFastSimulatorBase) with simulate_qaoa plus get_-prefixed
+// output methods, concrete simulators selected through choose_simulator
+// family factories. Algorithm 3 (precompute once; per layer one elementwise
+// phase multiply and one mixer transform) is the heart of simulate_qaoa.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "diagonal/cost_diagonal.hpp"
+#include "diagonal/diagonal_u16.hpp"
+#include "fur/mixers.hpp"
+#include "statevector/state.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Construction-time options for FurQaoaSimulator.
+struct FurConfig {
+  Exec exec = Exec::Parallel;       ///< serial ("python") vs threaded ("c")
+  MixerType mixer = MixerType::X;   ///< which mixing operator
+  MixerBackend backend = MixerBackend::Fused;  ///< X-mixer implementation
+  bool use_u16 = false;             ///< store/apply the uint16 diagonal
+  int initial_weight = -1;          ///< Dicke weight for xy mixers; -1 = n/2
+  PrecomputeStrategy precompute = PrecomputeStrategy::ElementMajor;
+};
+
+/// Abstract QAOA simulator: owns the precomputed cost diagonal and turns
+/// (gamma, beta) parameter vectors into evolved states and objectives.
+class QaoaFastSimulatorBase {
+ public:
+  virtual ~QaoaFastSimulatorBase() = default;
+
+  virtual int num_qubits() const = 0;
+
+  /// Default initial state: |+>^n for the X mixer, the in-sector Dicke
+  /// state for xy mixers.
+  virtual StateVector initial_state() const = 0;
+
+  /// Run Algorithm 3 from the default initial state. gammas and betas must
+  /// have equal length p. The returned StateVector is the `result` object
+  /// passed to the get_ methods.
+  virtual StateVector simulate_qaoa(std::span<const double> gammas,
+                                    std::span<const double> betas) const;
+
+  /// Run Algorithm 3 from a caller-provided state (consumed in place).
+  virtual StateVector simulate_qaoa_from(StateVector state,
+                                         std::span<const double> gammas,
+                                         std::span<const double> betas)
+      const = 0;
+
+  /// <result|C|result> using the precomputed diagonal.
+  virtual double get_expectation(const StateVector& result) const = 0;
+
+  /// Expectation against a caller-supplied cost vector (QOKit's optional
+  /// `costs` argument).
+  double get_expectation(const StateVector& result,
+                         const CostDiagonal& costs) const;
+
+  /// Probability mass on minimum-cost basis states. If restrict_weight >= 0
+  /// the minimum is taken within that Hamming-weight sector (relevant for
+  /// constrained problems run under xy mixers).
+  virtual double get_overlap(const StateVector& result,
+                             int restrict_weight = -1) const = 0;
+
+  /// Overlap against a caller-supplied cost vector (QOKit's optional
+  /// `costs` argument to get_overlap).
+  double get_overlap(const StateVector& result,
+                     const CostDiagonal& costs) const;
+
+  /// The evolved state itself (API parity with QOKit's get_statevector).
+  const StateVector& get_statevector(const StateVector& result) const {
+    return result;
+  }
+
+  /// |amp|^2 for every basis state.
+  std::vector<double> get_probabilities(const StateVector& result) const {
+    return result.probabilities();
+  }
+
+  /// The precomputed diagonal (QOKit's get_cost_diagonal).
+  virtual const CostDiagonal& get_cost_diagonal() const = 0;
+};
+
+/// CPU fast simulator implementing Algorithm 3 over the fur kernels.
+class FurQaoaSimulator final : public QaoaFastSimulatorBase {
+ public:
+  /// Precompute the diagonal from polynomial terms.
+  explicit FurQaoaSimulator(const TermList& terms, FurConfig cfg = {});
+
+  /// Adopt an existing cost vector (Listing 1's `costs` input path).
+  FurQaoaSimulator(CostDiagonal costs, FurConfig cfg = {});
+
+  int num_qubits() const override { return diag_.num_qubits(); }
+  StateVector initial_state() const override;
+  StateVector simulate_qaoa_from(StateVector state,
+                                 std::span<const double> gammas,
+                                 std::span<const double> betas) const override;
+  using QaoaFastSimulatorBase::get_expectation;  // keep the costs overloads
+  using QaoaFastSimulatorBase::get_overlap;
+  double get_expectation(const StateVector& result) const override;
+  double get_overlap(const StateVector& result,
+                     int restrict_weight = -1) const override;
+  const CostDiagonal& get_cost_diagonal() const override { return diag_; }
+
+  const FurConfig& config() const { return cfg_; }
+
+  /// The compressed diagonal (valid only when cfg.use_u16).
+  const DiagonalU16& diagonal_u16() const;
+
+ private:
+  FurConfig cfg_;
+  CostDiagonal diag_;
+  DiagonalU16 diag16_;  ///< populated iff cfg_.use_u16
+};
+
+/// Factory mirroring qokit.fur.choose_simulator. Recognized names:
+///   "auto"     threaded fused-kernel simulator (the default)
+///   "serial"   single-threaded (the paper's portable reference)
+///   "threaded" explicit OpenMP simulator
+///   "u16"      threaded with uint16-compressed diagonal
+///   "fwht"     threaded with the two-transform mixer backend (X mixer only)
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator(
+    const TermList& terms, std::string_view name = "auto");
+
+/// Ring-XY-mixer variant of choose_simulator.
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xyring(
+    const TermList& terms, std::string_view name = "auto",
+    int initial_weight = -1);
+
+/// Complete-graph-XY-mixer variant of choose_simulator.
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xycomplete(
+    const TermList& terms, std::string_view name = "auto",
+    int initial_weight = -1);
+
+/// Objective after each of the p layers (a depth trace): entry l is
+/// <C> of the state after applying layers 1..l+1. Useful for studying how
+/// energy descends along a schedule without re-simulating prefixes.
+std::vector<double> per_layer_expectations(const QaoaFastSimulatorBase& sim,
+                                           std::span<const double> gammas,
+                                           std::span<const double> betas);
+
+/// Multi-angle QAOA evolution (ma-QAOA): p phase angles and p*n per-qubit
+/// mixer angles, laid out layer-major (betas[l*n + q] drives qubit q in
+/// layer l). Reuses the simulator's precomputed diagonal; X mixer only.
+StateVector simulate_ma_qaoa(const FurQaoaSimulator& sim,
+                             std::span<const double> gammas,
+                             std::span<const double> betas);
+
+}  // namespace qokit

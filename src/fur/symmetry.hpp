@@ -1,0 +1,64 @@
+// Z2 spin-flip symmetry reduction (paper Sec. VI related work: symmetry
+// "has been shown to enable a reduction in the computational and memory
+// cost of QAOA simulation ... they can be combined with our techniques").
+//
+// When every cost term has even order, f(x) = f(~x) (global spin flip).
+// The QAOA X-mixer evolution preserves psi(~x) = psi(x): the initial
+// |+>^n is flip-symmetric, the phase operator applies equal phases to x
+// and ~x, and the transverse-field mixer commutes with the global flip
+// X^(x)n. It therefore suffices to evolve the 2^{n-1} amplitudes of the
+// representatives (top bit 0):
+//   - mixer passes on qubits q < n-1 pair indices inside the half space;
+//   - the pass on qubit n-1 pairs x with ~x restricted to the low bits,
+//     which is again a closed butterfly inside the half space.
+// Memory and per-layer work halve exactly.
+#pragma once
+
+#include <span>
+
+#include "diagonal/cost_diagonal.hpp"
+#include "statevector/state.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// True when every non-constant term has even order, hence f(x) = f(~x).
+bool is_flip_symmetric(const TermList& terms);
+
+/// Fast simulator evolving only the flip-symmetry representatives.
+///
+/// The `result` objects it produces are half vectors: index x in
+/// [0, 2^{n-1}) holds psi(x) for the representative with bit n-1 = 0; the
+/// missing half is psi(~x) = psi(x). Their norm_squared() is 1/2.
+class SymmetricFurSimulator {
+ public:
+  /// Throws unless is_flip_symmetric(terms).
+  explicit SymmetricFurSimulator(const TermList& terms,
+                                 Exec exec = Exec::Parallel);
+
+  /// Number of physical qubits n (the half vector stores n-1 index bits).
+  int num_qubits() const { return n_; }
+
+  /// Half-space cost diagonal (2^{n-1} representative values).
+  const CostDiagonal& half_diagonal() const { return half_diag_; }
+
+  /// Evolve the symmetric QAOA state; returns the half vector.
+  StateVector simulate_qaoa(std::span<const double> gammas,
+                            std::span<const double> betas) const;
+
+  /// <C> from a half vector (doubles the representative sum).
+  double get_expectation(const StateVector& half) const;
+
+  /// Ground-state probability from a half vector.
+  double get_overlap(const StateVector& half) const;
+
+  /// Reconstruct the full 2^n state (for verification / interop).
+  StateVector expand(const StateVector& half) const;
+
+ private:
+  int n_ = 0;
+  Exec exec_;
+  CostDiagonal half_diag_;
+};
+
+}  // namespace qokit

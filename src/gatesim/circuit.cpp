@@ -1,0 +1,35 @@
+#include "gatesim/circuit.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+Circuit::Circuit(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > 34)
+    throw std::invalid_argument("Circuit: bad qubit count");
+}
+
+void Circuit::append(Gate g) {
+  const std::uint64_t allowed = dim_of(n_) - 1ull;
+  if (g.support_mask() & ~allowed)
+    throw std::out_of_range("Circuit::append: gate exceeds qubit count");
+  gates_.push_back(g);
+}
+
+std::size_t Circuit::two_plus_qubit_count() const {
+  std::size_t c = 0;
+  for (const Gate& g : gates_)
+    if (g.support_size() >= 2) ++c;
+  return c;
+}
+
+std::size_t Circuit::diagonal_count() const {
+  std::size_t c = 0;
+  for (const Gate& g : gates_)
+    if (g.is_diagonal()) ++c;
+  return c;
+}
+
+}  // namespace qokit

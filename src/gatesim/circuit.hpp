@@ -1,0 +1,36 @@
+// Gate-list circuit container with the gate-count accounting used in the
+// paper's Sec. VI discussion (un-fused vs fused gate counts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatesim/gate.hpp"
+
+namespace qokit {
+
+/// A flat sequence of gates on n qubits.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const noexcept { return n_; }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+
+  /// Append a gate; validates qubit indices against n.
+  void append(Gate g);
+
+  /// Number of gates touching >= 2 qubits.
+  std::size_t two_plus_qubit_count() const;
+
+  /// Number of diagonal gates.
+  std::size_t diagonal_count() const;
+
+ private:
+  int n_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qokit

@@ -1,0 +1,70 @@
+#include "gatesim/compile.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+void append_phase_layer(Circuit& c, const TermList& terms, double gamma,
+                        PhaseStyle style) {
+  for (const Term& t : terms) {
+    if (t.mask == 0) continue;  // constant: global phase, no gate
+    const double theta = 2.0 * gamma * t.weight;
+    if (style == PhaseStyle::MultiZ) {
+      c.append(Gate::zphase(t.mask, theta));
+      continue;
+    }
+    std::vector<int> qs;
+    for (int q = 0; q < terms.num_qubits(); ++q)
+      if (test_bit(t.mask, q)) qs.push_back(q);
+    if (qs.size() == 1) {
+      c.append(Gate::rz(qs[0], theta));
+      continue;
+    }
+    // Parity ladder: accumulate parity onto the last qubit, rotate, unwind.
+    for (std::size_t i = 0; i + 1 < qs.size(); ++i)
+      c.append(Gate::cx(qs[i], qs[i + 1]));
+    c.append(Gate::rz(qs.back(), theta));
+    for (std::size_t i = qs.size() - 1; i-- > 0;)
+      c.append(Gate::cx(qs[i], qs[i + 1]));
+  }
+}
+
+void append_mixer_layer(Circuit& c, MixerType mixer, double beta) {
+  const int n = c.num_qubits();
+  switch (mixer) {
+    case MixerType::X:
+      for (int q = 0; q < n; ++q) c.append(Gate::rx(q, 2.0 * beta));
+      return;
+    case MixerType::XYRing:
+      if (n < 3) throw std::invalid_argument("xy ring: need n >= 3");
+      for (int i = 0; i < n; ++i)
+        c.append(Gate::xy(i, (i + 1) % n, 2.0 * beta));
+      return;
+    case MixerType::XYComplete:
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) c.append(Gate::xy(i, j, 2.0 * beta));
+      return;
+  }
+  throw std::logic_error("append_mixer_layer: unknown mixer");
+}
+
+Circuit compile_qaoa_circuit(const TermList& terms,
+                             std::span<const double> gammas,
+                             std::span<const double> betas, MixerType mixer,
+                             PhaseStyle style, bool initial_h) {
+  if (gammas.size() != betas.size())
+    throw std::invalid_argument("compile_qaoa_circuit: length mismatch");
+  Circuit c(terms.num_qubits());
+  if (initial_h)
+    for (int q = 0; q < c.num_qubits(); ++q) c.append(Gate::h(q));
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    append_phase_layer(c, terms, gammas[l], style);
+    append_mixer_layer(c, mixer, betas[l]);
+  }
+  return c;
+}
+
+}  // namespace qokit

@@ -1,0 +1,30 @@
+// Gate-at-a-time state-vector executor -- the baseline execution model.
+//
+// Two modes:
+//  - in-place (default): each gate updates the state vector in place with
+//    OpenMP-parallel kernels; stands in for optimized simulators such as
+//    Qiskit Aer / cuStateVec-without-precompute.
+//  - out-of-place: every gate allocates a fresh output vector and streams
+//    the input through full-size temporaries, mimicking "vectorized"
+//    NumPy-style simulators (the OpenQAOA baseline of Fig. 2).
+#pragma once
+
+#include "common/parallel.hpp"
+#include "gatesim/circuit.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit {
+
+/// Apply one gate in place.
+void apply_gate(StateVector& sv, const Gate& g, Exec exec = Exec::Parallel);
+
+/// Apply one gate out of place (allocates a full temporary).
+void apply_gate_out_of_place(StateVector& sv, const Gate& g);
+
+/// Run a whole circuit in place.
+void run_circuit(StateVector& sv, const Circuit& c, Exec exec = Exec::Parallel);
+
+/// Run a whole circuit with per-gate temporaries (the slow baseline).
+void run_circuit_out_of_place(StateVector& sv, const Circuit& c);
+
+}  // namespace qokit

@@ -1,0 +1,103 @@
+#include "gatesim/fusion.hpp"
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+/// 4x4 complex multiply: out = a * b.
+std::array<cdouble, 16> matmul4(const std::array<cdouble, 16>& a,
+                                const std::array<cdouble, 16>& b) {
+  std::array<cdouble, 16> out{};
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      cdouble acc(0.0, 0.0);
+      for (int k = 0; k < 4; ++k) acc += a[r * 4 + k] * b[k * 4 + c];
+      out[r * 4 + c] = acc;
+    }
+  return out;
+}
+
+/// In-flight fusion group. The accumulated matrix lives on the ordered
+/// pair (qa, spectator-or-qb); while qb < 0 the second basis bit is a pure
+/// spectator (identity action), so the same 4x4 stays valid whichever
+/// concrete qubit later takes that slot.
+struct Group {
+  int qa = -1;
+  int qb = -1;
+  std::array<cdouble, 16> m{};
+
+  bool empty() const { return qa < 0; }
+
+  std::uint64_t mask() const {
+    std::uint64_t s = 0;
+    if (qa >= 0) s |= 1ull << qa;
+    if (qb >= 0) s |= 1ull << qb;
+    return s;
+  }
+};
+
+int lowest_bit(std::uint64_t mask, int exclude = -1) {
+  for (int q = 0; q < 64; ++q)
+    if (test_bit(mask, q) && q != exclude) return q;
+  return -1;
+}
+
+}  // namespace
+
+Circuit fuse_gates(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  Group grp;
+
+  const auto placeholder = [&](int qa) { return (qa + 1) % c.num_qubits(); };
+
+  auto flush = [&] {
+    if (grp.empty()) return;
+    if (grp.qb < 0) {
+      // Spectator bit carries identity: shrink to the 2x2 block.
+      std::array<cdouble, 4> m1{grp.m[0], grp.m[1], grp.m[4], grp.m[5]};
+      out.append(Gate::u1(grp.qa, m1));
+    } else {
+      out.append(Gate::u2(grp.qa, grp.qb, grp.m));
+    }
+    grp = Group{};
+  };
+
+  auto start = [&](const Gate& g) {
+    const std::uint64_t sup = g.support_mask();
+    grp.qa = lowest_bit(sup);
+    grp.qb = g.support_size() == 2 ? lowest_bit(sup, grp.qa) : -1;
+    const int pb = grp.qb >= 0 ? grp.qb : placeholder(grp.qa);
+    grp.m = gate_matrix_on_pair(g, grp.qa, pb);
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (g.support_size() > 2) {
+      // A >2-qubit diagonal cannot join a 4x4 group: emit as-is in program
+      // order (always correct; reordering disjoint gates is a further
+      // optimization fusion frameworks sometimes do, not modeled here).
+      flush();
+      out.append(g);
+      continue;
+    }
+    if (grp.empty()) {
+      start(g);
+      continue;
+    }
+    const std::uint64_t union_mask = grp.mask() | g.support_mask();
+    if (popcount(union_mask) > 2) {
+      flush();
+      start(g);
+      continue;
+    }
+    // Join: pin the group's second qubit if the union now names it.
+    if (grp.qb < 0 && popcount(union_mask) == 2)
+      grp.qb = lowest_bit(union_mask, grp.qa);
+    const int pb = grp.qb >= 0 ? grp.qb : placeholder(grp.qa);
+    grp.m = matmul4(gate_matrix_on_pair(g, grp.qa, pb), grp.m);
+  }
+  flush();
+  return out;
+}
+
+}  // namespace qokit

@@ -1,0 +1,20 @@
+// Greedy F=2 gate fusion (paper Sec. VI related-work discussion).
+//
+// Adjacent gates whose combined support fits in two qubits are multiplied
+// into a single U2. The paper's argument for why fusion cannot catch the
+// precomputed diagonal: LABS phase layers are dominated by 4-order terms
+// whose ladders span > 2 qubits across terms, capping what F=2 fusion can
+// absorb. fuse_gates makes that measurable (see bench_ablation_fusion).
+#pragma once
+
+#include "gatesim/circuit.hpp"
+
+namespace qokit {
+
+/// Greedily fuse runs of gates with combined support <= 2 qubits into U2
+/// gates. Gates with larger support (multi-qubit ZPhase) are emitted
+/// unchanged and act as fusion barriers only for overlapping qubits runs.
+/// The fused circuit realizes exactly the same unitary.
+Circuit fuse_gates(const Circuit& c);
+
+}  // namespace qokit

@@ -1,0 +1,35 @@
+#include "optimize/grid.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qokit {
+
+GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
+                          int beta_points, double gamma_lo, double gamma_hi,
+                          double beta_lo, double beta_hi) {
+  if (gamma_points < 1 || beta_points < 1)
+    throw std::invalid_argument("grid_search_p1: need >= 1 point per axis");
+  GridResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (int gi = 0; gi < gamma_points; ++gi) {
+    const double g =
+        gamma_points == 1
+            ? gamma_lo
+            : gamma_lo + (gamma_hi - gamma_lo) * gi / (gamma_points - 1);
+    for (int bi = 0; bi < beta_points; ++bi) {
+      const double b =
+          beta_points == 1
+              ? beta_lo
+              : beta_lo + (beta_hi - beta_lo) * bi / (beta_points - 1);
+      const double gamma_arr[1] = {g};
+      const double beta_arr[1] = {b};
+      const StateVector r = sim.simulate_qaoa(gamma_arr, beta_arr);
+      const double v = sim.get_expectation(r);
+      if (v < best.value) best = {g, b, v};
+    }
+  }
+  return best;
+}
+
+}  // namespace qokit

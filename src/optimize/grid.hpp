@@ -1,0 +1,26 @@
+// Exhaustive (gamma, beta) grid search at p = 1.
+//
+// The stock initialization for depth-1 QAOA: the p = 1 landscape is cheap
+// to scan with the fast simulator, and the best grid point seeds local
+// optimization or the INTERP ladder. Equivalent to the 2D heatmaps common
+// in QAOA papers.
+#pragma once
+
+#include "fur/simulator.hpp"
+
+namespace qokit {
+
+/// Best point found by grid_search_p1.
+struct GridResult {
+  double gamma = 0.0;
+  double beta = 0.0;
+  double value = 0.0;  ///< objective at (gamma, beta)
+};
+
+/// Evaluate the p = 1 objective on a gamma_points x beta_points grid over
+/// [gamma_lo, gamma_hi] x [beta_lo, beta_hi] and return the minimizer.
+GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
+                          int beta_points, double gamma_lo, double gamma_hi,
+                          double beta_lo, double beta_hi);
+
+}  // namespace qokit

@@ -1,0 +1,43 @@
+#include "optimize/labs_params.hpp"
+
+#include <stdexcept>
+
+namespace qokit {
+namespace {
+
+// Generated with this library (multi-start Nelder-Mead + INTERP ladder,
+// restricted to the transferable small-gamma regime) on LABS n = 12.
+// Energies reached at n = 12: 56.57, 43.07, 36.40, 33.30, 30.83 for
+// p = 1..5 against the uniform-state value 66; the same angles evaluated
+// at n = 10 / n = 14 also beat uniform by wide margins (see tests).
+const std::vector<std::vector<double>> kGammas = {
+    {-0.0063210600},
+    {-0.0051248824, 0.0215716386},
+    {-0.0050384285, 0.0201457466, 0.0388148732},
+    {-0.0037941641, 0.0144649942, 0.0301009811, 0.0427154452},
+    {-0.0032595649, 0.0121025148, 0.0222318812, 0.0337338467, 0.0438404165},
+};
+
+const std::vector<std::vector<double>> kBetas = {
+    {-0.6408283590},
+    {-0.6629870288, -0.1186043580},
+    {-0.6722039528, -0.1317202209, -0.0861881477},
+    {-0.6478470333, -0.1362730961, -0.0919754238, -0.0715128738},
+    {-0.6675312344, -0.1392095764, -0.1009434715, -0.0814655853,
+     -0.0653199114},
+};
+
+}  // namespace
+
+int labs_transferred_max_p() { return static_cast<int>(kGammas.size()); }
+
+QaoaParams labs_transferred_params(int p) {
+  if (p < 1 || p > labs_transferred_max_p())
+    throw std::invalid_argument("labs_transferred_params: p out of table");
+  QaoaParams out;
+  out.gammas = kGammas[p - 1];
+  out.betas = kBetas[p - 1];
+  return out;
+}
+
+}  // namespace qokit

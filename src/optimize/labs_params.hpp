@@ -1,0 +1,23 @@
+// Pre-optimized LABS QAOA schedules, shipped with the library.
+//
+// QOKit "provides optimized parameters ... for a set of commonly studied
+// problems" (paper Sec. I); for LABS the key empirical fact (exploited at
+// scale by the paper's Ref. [6]) is that good schedules *transfer* across
+// problem sizes. The table below was produced with this repository's own
+// optimizer (multi-start Nelder-Mead + INTERP ladder at n = 12; see
+// DESIGN.md) and is validated across n in the test suite.
+#pragma once
+
+#include "optimize/params.hpp"
+
+namespace qokit {
+
+/// Largest depth with a shipped LABS schedule.
+int labs_transferred_max_p();
+
+/// Optimized LABS schedule for depth p (1 <= p <= labs_transferred_max_p).
+/// Angles were tuned at n = 12 and transfer to nearby sizes; for larger
+/// depth, extend with interp_to_next_depth + local re-optimization.
+QaoaParams labs_transferred_params(int p);
+
+}  // namespace qokit

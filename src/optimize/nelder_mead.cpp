@@ -1,0 +1,122 @@
+#include "optimize/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qokit {
+
+OptResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, NelderMeadOptions opts) {
+  const int dim = static_cast<int>(x0.size());
+  if (dim == 0) throw std::invalid_argument("nelder_mead: empty x0");
+
+  // Gao & Han adaptive coefficients; classic values for adaptive = false.
+  const double alpha = 1.0;
+  const double beta = opts.adaptive ? 1.0 + 2.0 / dim : 2.0;
+  const double gamma = opts.adaptive ? 0.75 - 1.0 / (2.0 * dim) : 0.5;
+  const double delta = opts.adaptive ? 1.0 - 1.0 / dim : 0.5;
+
+  OptResult res;
+  int evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return f(x);
+  };
+
+  // Initial simplex: x0 plus one offset vertex per coordinate.
+  std::vector<std::vector<double>> simplex(dim + 1, x0);
+  std::vector<double> fv(dim + 1);
+  for (int i = 0; i < dim; ++i)
+    simplex[i + 1][i] += x0[i] != 0.0 ? opts.initial_step * std::abs(x0[i]) +
+                                            opts.initial_step
+                                      : opts.initial_step;
+  for (int i = 0; i <= dim; ++i) fv[i] = eval(simplex[i]);
+
+  std::vector<int> order(dim + 1);
+  std::vector<double> centroid(dim), xr(dim), xe(dim), xc(dim);
+
+  int iter = 0;
+  while (evals < opts.max_evals) {
+    ++iter;
+    for (int i = 0; i <= dim; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return fv[a] < fv[b]; });
+    const int best = order[0];
+    const int worst = order[dim];
+    const int second_worst = order[dim - 1];
+
+    // Convergence: simplex extent and objective spread.
+    double xspread = 0.0;
+    for (int i = 1; i <= dim; ++i)
+      for (int d = 0; d < dim; ++d)
+        xspread = std::max(xspread,
+                           std::abs(simplex[order[i]][d] - simplex[best][d]));
+    const double fspread = std::abs(fv[worst] - fv[best]);
+    if (xspread < opts.xtol && fspread < opts.ftol) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (int i = 0; i <= dim; ++i) {
+      if (i == worst) continue;
+      for (int d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& v : centroid) v /= dim;
+
+    // Reflection.
+    for (int d = 0; d < dim; ++d)
+      xr[d] = centroid[d] + alpha * (centroid[d] - simplex[worst][d]);
+    const double fr = eval(xr);
+
+    if (fr < fv[best]) {
+      // Expansion.
+      for (int d = 0; d < dim; ++d)
+        xe[d] = centroid[d] + beta * (xr[d] - centroid[d]);
+      const double fe = eval(xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      simplex[worst] = xr;
+      fv[worst] = fr;
+    } else {
+      // Contraction (outside if the reflected point improved on the worst).
+      const bool outside = fr < fv[worst];
+      const std::vector<double>& toward = outside ? xr : simplex[worst];
+      for (int d = 0; d < dim; ++d)
+        xc[d] = centroid[d] + gamma * (toward[d] - centroid[d]);
+      const double fc = eval(xc);
+      if (fc < std::min(fr, fv[worst])) {
+        simplex[worst] = xc;
+        fv[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (int i = 0; i <= dim; ++i) {
+          if (i == best) continue;
+          for (int d = 0; d < dim; ++d)
+            simplex[i][d] =
+                simplex[best][d] + delta * (simplex[i][d] - simplex[best][d]);
+          fv[i] = eval(simplex[i]);
+          if (evals >= opts.max_evals) break;
+        }
+      }
+    }
+  }
+
+  const auto it = std::min_element(fv.begin(), fv.end());
+  res.x = simplex[static_cast<std::size_t>(it - fv.begin())];
+  res.fval = *it;
+  res.evaluations = evals;
+  res.iterations = iter;
+  return res;
+}
+
+}  // namespace qokit

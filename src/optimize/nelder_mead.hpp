@@ -1,0 +1,37 @@
+// Derivative-free local optimizer for QAOA parameter tuning.
+//
+// The paper's headline metric is the cost of a "typical QAOA parameter
+// optimization", i.e. hundreds of objective evaluations driven by a local
+// optimizer. Nelder-Mead (with the adaptive coefficients of Gao & Han) is
+// the stock choice in QAOA studies and what we use for the Table-1-style
+// benchmark and the examples.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace qokit {
+
+/// Result of an optimization run.
+struct OptResult {
+  std::vector<double> x;    ///< best parameters found
+  double fval = 0.0;        ///< objective at x
+  int evaluations = 0;      ///< number of objective calls
+  int iterations = 0;       ///< optimizer iterations
+  bool converged = false;   ///< tolerance met before hitting max_evals
+};
+
+/// Nelder-Mead options.
+struct NelderMeadOptions {
+  int max_evals = 1000;     ///< hard budget on objective calls
+  double xtol = 1e-6;       ///< simplex size tolerance
+  double ftol = 1e-9;       ///< objective spread tolerance
+  double initial_step = 0.1;  ///< initial simplex offset per coordinate
+  bool adaptive = true;     ///< dimension-dependent coefficients (Gao-Han)
+};
+
+/// Minimize f starting at x0.
+OptResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                      std::vector<double> x0, NelderMeadOptions opts = {});
+
+}  // namespace qokit

@@ -1,0 +1,23 @@
+#include "optimize/objective.hpp"
+
+#include <span>
+#include <stdexcept>
+
+namespace qokit {
+
+QaoaObjective::QaoaObjective(const QaoaFastSimulatorBase& sim, int p)
+    : sim_(&sim), p_(p) {
+  if (p < 1) throw std::invalid_argument("QaoaObjective: p must be >= 1");
+}
+
+double QaoaObjective::operator()(const std::vector<double>& x) const {
+  if (static_cast<int>(x.size()) != 2 * p_)
+    throw std::invalid_argument("QaoaObjective: expected 2p parameters");
+  ++evals_;
+  const std::span<const double> gammas(x.data(), p_);
+  const std::span<const double> betas(x.data() + p_, p_);
+  const StateVector result = sim_->simulate_qaoa(gammas, betas);
+  return sim_->get_expectation(result);
+}
+
+}  // namespace qokit

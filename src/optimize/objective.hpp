@@ -1,0 +1,40 @@
+// The QAOA objective <gamma beta|C|gamma beta> as an optimizable functor.
+//
+// Wraps any QaoaFastSimulatorBase: the simulator owns the precomputed
+// diagonal, so every call costs p mixer transforms + p phase multiplies +
+// one inner product -- the loop of paper Fig. 1 that the optimizer drives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fur/simulator.hpp"
+
+namespace qokit {
+
+/// Callable objective with evaluation counting.
+class QaoaObjective {
+ public:
+  /// `sim` must outlive the objective. `p` fixes the parameter layout:
+  /// x = (gamma_1..gamma_p, beta_1..beta_p).
+  QaoaObjective(const QaoaFastSimulatorBase& sim, int p);
+
+  /// Objective value at packed parameters x (size 2p).
+  double operator()(const std::vector<double>& x) const;
+
+  /// Number of simulator invocations so far.
+  int evaluations() const { return evals_; }
+
+  /// Reset the evaluation counter.
+  void reset_count() { evals_ = 0; }
+
+  int p() const { return p_; }
+
+ private:
+  const QaoaFastSimulatorBase* sim_;
+  int p_;
+  mutable int evals_ = 0;
+};
+
+}  // namespace qokit

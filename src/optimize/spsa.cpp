@@ -1,0 +1,52 @@
+#include "optimize/spsa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qokit {
+
+OptResult spsa(const std::function<double(const std::vector<double>&)>& f,
+               std::vector<double> x0, SpsaOptions opts) {
+  const std::size_t dim = x0.size();
+  if (dim == 0) throw std::invalid_argument("spsa: empty x0");
+  Rng rng(opts.seed);
+
+  OptResult res;
+  std::vector<double> xp(dim), xm(dim), delta(dim);
+  std::vector<double> best_x = x0;
+  double best_f = f(x0);
+  int evals = 1;
+
+  for (int k = 0; k < opts.max_iterations; ++k) {
+    const double ak =
+        opts.a / std::pow(k + 1 + opts.stability, opts.alpha);
+    const double ck = opts.c / std::pow(k + 1, opts.gamma);
+    for (std::size_t d = 0; d < dim; ++d) {
+      delta[d] = rng.bernoulli(0.5) ? 1.0 : -1.0;  // Rademacher
+      xp[d] = x0[d] + ck * delta[d];
+      xm[d] = x0[d] - ck * delta[d];
+    }
+    const double fp = f(xp);
+    const double fm = f(xm);
+    evals += 2;
+    for (std::size_t d = 0; d < dim; ++d)
+      x0[d] -= ak * (fp - fm) / (2.0 * ck * delta[d]);
+    const double fx = f(x0);
+    ++evals;
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x0;
+    }
+  }
+
+  res.x = std::move(best_x);
+  res.fval = best_f;
+  res.evaluations = evals;
+  res.iterations = opts.max_iterations;
+  res.converged = true;  // fixed-budget method
+  return res;
+}
+
+}  // namespace qokit

@@ -1,0 +1,29 @@
+// Simultaneous Perturbation Stochastic Approximation: a two-evaluations-
+// per-step optimizer popular for noisy QAOA objectives. Included as the
+// second stock optimizer of the parameter-tuning toolkit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "optimize/nelder_mead.hpp"  // OptResult
+
+namespace qokit {
+
+/// SPSA schedule and budget options (standard Spall coefficients).
+struct SpsaOptions {
+  int max_iterations = 200;
+  double a = 0.2;        ///< step-size numerator
+  double c = 0.1;        ///< perturbation size
+  double alpha = 0.602;  ///< step-size decay exponent
+  double gamma = 0.101;  ///< perturbation decay exponent
+  double stability = 10.0;  ///< A, added to the iteration in the a-schedule
+  std::uint64_t seed = 12345;
+};
+
+/// Minimize f starting at x0 with SPSA.
+OptResult spsa(const std::function<double(const std::vector<double>&)>& f,
+               std::vector<double> x0, SpsaOptions opts = {});
+
+}  // namespace qokit

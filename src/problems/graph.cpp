@@ -1,0 +1,102 @@
+#include "problems/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace qokit {
+
+Graph::Graph(int n, std::vector<Edge> edges) : n_(n), edges_(std::move(edges)) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+  std::set<std::pair<int, int>> seen;
+  for (Edge& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (e.u < 0 || e.v >= n) throw std::invalid_argument("Graph: bad endpoint");
+    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
+    if (!seen.insert({e.u, e.v}).second)
+      throw std::invalid_argument("Graph: duplicate edge");
+  }
+}
+
+Graph Graph::random_regular(int n, int d, std::uint64_t seed) {
+  if (d >= n || (static_cast<long long>(n) * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: need d < n and n*d even");
+  Rng rng(seed);
+  // Configuration model: pair up n*d stubs, reject non-simple outcomes.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v)
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    rng.shuffle(stubs);
+    std::set<std::pair<int, int>> seen;
+    std::vector<Edge> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      int u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+      edges.push_back({u, v, 1.0});
+    }
+    if (ok) return Graph(n, std::move(edges));
+  }
+  throw std::runtime_error("random_regular: failed to sample a simple graph");
+}
+
+Graph Graph::erdos_renyi(int n, double p_edge, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p_edge)) edges.push_back({u, v, 1.0});
+  return Graph(n, std::move(edges));
+}
+
+Graph Graph::complete(int n, double w) {
+  std::vector<Edge> edges;
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) edges.push_back({u, v, w});
+  return Graph(n, std::move(edges));
+}
+
+Graph Graph::ring(int n) {
+  if (n < 3) throw std::invalid_argument("ring: need n >= 3");
+  std::vector<Edge> edges;
+  for (int v = 0; v < n; ++v) edges.push_back({std::min(v, (v + 1) % n),
+                                               std::max(v, (v + 1) % n), 1.0});
+  // Normalize: constructor sorts endpoints; duplicates impossible for n >= 3.
+  return Graph(n, std::move(edges));
+}
+
+int Graph::degree(int v) const {
+  int d = 0;
+  for (const Edge& e : edges_)
+    if (e.u == v || e.v == v) ++d;
+  return d;
+}
+
+bool Graph::is_regular(int d) const {
+  for (int v = 0; v < n_; ++v)
+    if (degree(v) != d) return false;
+  return true;
+}
+
+double Graph::cut_value(std::uint64_t x) const noexcept {
+  double cut = 0.0;
+  for (const Edge& e : edges_)
+    if (test_bit(x, e.u) != test_bit(x, e.v)) cut += e.w;
+  return cut;
+}
+
+}  // namespace qokit

@@ -1,0 +1,61 @@
+// Undirected weighted graphs and the random generators used by the paper's
+// benchmarks (random d-regular for Fig. 2, complete graphs for Listing 1,
+// rings / complete graphs for the xy mixers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qokit {
+
+/// Undirected weighted edge with u < v.
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Simple undirected graph (no self-loops, no multi-edges).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Graph on `n` vertices with the given edges. Edges are normalized to
+  /// u < v; duplicate or self-loop edges throw.
+  Graph(int n, std::vector<Edge> edges);
+
+  /// Uniform-ish random d-regular graph via the configuration model with
+  /// rejection (retry until simple). Requires n*d even, d < n.
+  static Graph random_regular(int n, int d, std::uint64_t seed);
+
+  /// Erdos-Renyi G(n, p_edge).
+  static Graph erdos_renyi(int n, double p_edge, std::uint64_t seed);
+
+  /// Complete graph with uniform edge weight `w` (Listing 1's all-to-all).
+  static Graph complete(int n, double w = 1.0);
+
+  /// Cycle 0-1-...-(n-1)-0 (the xy-ring mixer topology).
+  static Graph ring(int n);
+
+  int num_vertices() const noexcept { return n_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Degree of vertex v.
+  int degree(int v) const;
+
+  /// True if every vertex has degree d.
+  bool is_regular(int d) const;
+
+  /// Total weight of edges cut by the bit assignment `x` (vertex v on the
+  /// side given by bit v).
+  double cut_value(std::uint64_t x) const noexcept;
+
+ private:
+  int n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace qokit

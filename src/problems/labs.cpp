@@ -1,0 +1,81 @@
+#include "problems/labs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+int labs_autocorrelation(std::uint64_t x, int n, int k) {
+  int c = 0;
+  for (int i = 0; i + k < n; ++i)
+    c += spin_of_bit(x, i) * spin_of_bit(x, i + k);
+  return c;
+}
+
+double labs_energy(std::uint64_t x, int n) {
+  double e = 0.0;
+  for (int k = 1; k < n; ++k) {
+    const double c = labs_autocorrelation(x, n, k);
+    e += c * c;
+  }
+  return e;
+}
+
+double labs_merit_factor(std::uint64_t x, int n) {
+  const double e = labs_energy(x, n);
+  return static_cast<double>(n) * n / (2.0 * e);
+}
+
+TermList labs_terms(int n) {
+  TermList t = labs_terms_no_offset(n);
+  // sum_{k=1}^{n-1} (n - k) diagonal contributions of C_k^2.
+  t.add_mask(static_cast<double>(n) * (n - 1) / 2.0, 0);
+  return t.canonicalize();
+}
+
+TermList labs_terms_no_offset(int n) {
+  if (n < 1 || n > 63) throw std::invalid_argument("labs_terms: bad n");
+  TermList t(n, {});
+  // E(s) = sum_k [ (n-k) + sum_{i != j} s_i s_{i+k} s_j s_{j+k} ]
+  //      = const + 2 sum_k sum_{i<j} s_i s_{i+k} s_j s_{j+k}.
+  // Masks compose by XOR, so the j = i + k collision (which collapses the
+  // product to s_i s_{i+2k}) is handled without special-casing.
+  for (int k = 1; k < n; ++k) {
+    for (int i = 0; i + k < n; ++i) {
+      for (int j = i + 1; j + k < n; ++j) {
+        const std::uint64_t mask = (1ull << i) ^ (1ull << (i + k)) ^
+                                   (1ull << j) ^ (1ull << (j + k));
+        t.add_mask(2.0, mask);
+      }
+    }
+  }
+  return t.canonicalize();
+}
+
+int labs_known_optimum(int n) {
+  // Minimum sidelobe energies from exhaustive search (Mertens;
+  // Packebusch & Mertens 2016). Entries for n <= 16 are re-checked against
+  // labs_brute_force in tests; larger entries are literature values.
+  static constexpr std::array<int, 41> kOpt = {
+      -1,                                          // n = 0 (undefined)
+      0,  1,  1,  2,  2,  7,  3,  8,  12, 13,      // 1..10
+      5,  10, 6,  19, 15, 24, 32, 25, 29, 26,      // 11..20
+      26, 39, 47, 36, 36, 45, 37, 50, 62, 59,      // 21..30
+      67, 64, 64, 65, 73, 82, 86, 87, 99, 108};    // 31..40
+  if (n < 1 || n > 40) return -1;
+  return kOpt[static_cast<std::size_t>(n)];
+}
+
+int labs_brute_force(int n) {
+  if (n < 1 || n > 30) throw std::invalid_argument("labs_brute_force: bad n");
+  double best = 1e300;
+  // E(s) = E(-s): fixing the last spin halves the search space.
+  for (std::uint64_t x = 0; x < dim_of(n - 1 > 0 ? n - 1 : 0); ++x)
+    best = std::min(best, labs_energy(x, n));
+  return static_cast<int>(best);
+}
+
+}  // namespace qokit

@@ -1,0 +1,45 @@
+// Low Autocorrelation Binary Sequences (LABS), the paper's flagship
+// workload (Figs. 3-5). For a spin sequence s in {-1,+1}^n the aperiodic
+// autocorrelations are C_k(s) = sum_{i=0}^{n-k-1} s_i s_{i+k} and the
+// sidelobe energy is
+//
+//     E(s) = sum_{k=1}^{n-1} C_k(s)^2 .
+//
+// Expanding the square yields the 4- and 2-order spin terms given in Sec. II
+// of the paper plus the constant n(n-1)/2; index collisions (j = i + k)
+// reduce 4-order products to 2-order ones, which the XOR-mask composition in
+// TermList handles exactly. LABS is hard for classical solvers and its dense,
+// high-order term set is what makes gate-based QAOA simulation expensive.
+#pragma once
+
+#include <cstdint>
+
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Sidelobe energy E(s) computed directly from the definition, O(n^2).
+double labs_energy(std::uint64_t x, int n);
+
+/// Autocorrelation C_k(s) for the bit assignment `x`.
+int labs_autocorrelation(std::uint64_t x, int n, int k);
+
+/// Merit factor F(s) = n^2 / (2 E(s)).
+double labs_merit_factor(std::uint64_t x, int n);
+
+/// Cost terms whose spectrum equals E(s) exactly (constant included).
+/// This is the C++ analogue of qokit.labs.get_terms(n) in Listing 2.
+TermList labs_terms(int n);
+
+/// Cost terms without the constant n(n-1)/2 (the form printed in the paper).
+TermList labs_terms_no_offset(int n);
+
+/// Optimal (minimum) sidelobe energy from the published exhaustive-search
+/// literature, available for n in [1, 40]; returns -1 outside the table.
+/// Values for n <= 16 are re-verified by brute force in the test suite.
+int labs_known_optimum(int n);
+
+/// Exhaustive minimum of E(s); O(2^{n-1} n^2) using the s -> -s symmetry.
+int labs_brute_force(int n);
+
+}  // namespace qokit

@@ -1,0 +1,33 @@
+#include "problems/maxcut.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+TermList maxcut_terms(const Graph& g) {
+  TermList t = maxcut_terms_no_offset(g);
+  double total = 0.0;
+  for (const Edge& e : g.edges()) total += e.w;
+  t.add_mask(-total / 2.0, 0);
+  return t.canonicalize();
+}
+
+TermList maxcut_terms_no_offset(const Graph& g) {
+  TermList t(g.num_vertices(), {});
+  for (const Edge& e : g.edges()) t.add(e.w / 2.0, {e.u, e.v});
+  return t.canonicalize();
+}
+
+double maxcut_brute_force(const Graph& g) {
+  const int n = g.num_vertices();
+  if (n > 28) throw std::invalid_argument("maxcut_brute_force: n too large");
+  double best = 0.0;
+  for (std::uint64_t x = 0; x < dim_of(n); ++x)
+    best = std::max(best, g.cut_value(x));
+  return best;
+}
+
+}  // namespace qokit

@@ -1,0 +1,27 @@
+// MaxCut cost polynomial (paper Sec. II):
+//
+//   f(s) = sum_{(i,j) in E} w_ij/2 * s_i s_j  -  (sum w_ij)/2  =  -cut(x),
+//
+// so minimizing f maximizes the cut and the QAOA expectation <C> relates to
+// the expected cut by <cut> = -<C>.
+#pragma once
+
+#include <cstdint>
+
+#include "problems/graph.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Cost terms for MaxCut on `g`, including the constant offset term so the
+/// spectrum equals -cut exactly.
+TermList maxcut_terms(const Graph& g);
+
+/// Cost terms without the constant offset (spectrum shifted by +W/2); some
+/// frameworks optimize this shifted form, the argmin is unchanged.
+TermList maxcut_terms_no_offset(const Graph& g);
+
+/// Exhaustive maximum cut weight; O(2^n * |E|). For tests and small n.
+double maxcut_brute_force(const Graph& g);
+
+}  // namespace qokit

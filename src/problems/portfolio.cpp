@@ -1,0 +1,87 @@
+#include "problems/portfolio.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace qokit {
+
+double PortfolioInstance::value(std::uint64_t x) const {
+  double risk = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (!test_bit(x, i)) continue;
+    for (int j = 0; j < n; ++j)
+      if (test_bit(x, j)) risk += cov[static_cast<std::size_t>(i) * n + j];
+  }
+  double ret = 0.0;
+  for (int i = 0; i < n; ++i)
+    if (test_bit(x, i)) ret += mu[i];
+  return q * risk - ret;
+}
+
+double PortfolioInstance::brute_force_best(std::uint64_t* argmin) const {
+  if (n > 26) throw std::invalid_argument("brute_force_best: n too large");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint64_t x = 0; x < dim_of(n); ++x) {
+    if (popcount(x) != budget) continue;
+    const double v = value(x);
+    if (v < best) {
+      best = v;
+      if (argmin) *argmin = x;
+    }
+  }
+  return best;
+}
+
+PortfolioInstance random_portfolio(int n, int budget, double q,
+                                   std::uint64_t seed) {
+  if (budget < 0 || budget > n)
+    throw std::invalid_argument("random_portfolio: bad budget");
+  Rng rng(seed);
+  PortfolioInstance inst;
+  inst.n = n;
+  inst.budget = budget;
+  inst.q = q;
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.normal();
+  inst.cov.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < n; ++k)
+        dot += a[static_cast<std::size_t>(i) * n + k] *
+               a[static_cast<std::size_t>(j) * n + k];
+      inst.cov[static_cast<std::size_t>(i) * n + j] = dot / n;
+    }
+  inst.mu.resize(n);
+  for (auto& v : inst.mu) v = rng.uniform();
+  return inst;
+}
+
+TermList portfolio_terms(const PortfolioInstance& inst) {
+  const int n = inst.n;
+  TermList t(n, {});
+  // x_i = (1 - s_i) / 2. Diagonal covariance and return are linear in x_i;
+  // off-diagonal covariance is quadratic.
+  for (int i = 0; i < n; ++i) {
+    const double ci =
+        inst.q * inst.cov[static_cast<std::size_t>(i) * n + i] - inst.mu[i];
+    t.add_mask(ci / 2.0, 0);
+    t.add_mask(-ci / 2.0, 1ull << i);
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double a =
+          2.0 * inst.q * inst.cov[static_cast<std::size_t>(i) * n + j];
+      // x_i x_j = (1 - s_i - s_j + s_i s_j) / 4.
+      t.add_mask(a / 4.0, 0);
+      t.add_mask(-a / 4.0, 1ull << i);
+      t.add_mask(-a / 4.0, 1ull << j);
+      t.add_mask(a / 4.0, (1ull << i) | (1ull << j));
+    }
+  return t.canonicalize(1e-15);
+}
+
+}  // namespace qokit

@@ -1,0 +1,41 @@
+// Mean-variance portfolio optimization, the third problem family QOKit
+// ships one-line methods for (paper Sec. IV). Select exactly K of n assets
+// minimizing  f(x) = q * x^T Cov x - mu^T x  over x in {0,1}^n with
+// |x| = K. The budget constraint is enforced natively by the
+// Hamming-weight-preserving xy mixers started from a Dicke state, which is
+// exactly the use case the paper's SU(4) mixer extension targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// A sampled mean-variance instance.
+struct PortfolioInstance {
+  int n = 0;           ///< number of assets
+  int budget = 0;      ///< required portfolio size K
+  double q = 0.5;      ///< risk aversion
+  std::vector<double> mu;   ///< expected returns, size n
+  std::vector<double> cov;  ///< row-major n x n covariance (SPD)
+
+  /// Objective value for selection `x` (bit i = 1 means asset i held).
+  double value(std::uint64_t x) const;
+
+  /// Best objective over all |x| = budget selections (exhaustive; small n).
+  double brute_force_best(std::uint64_t* argmin = nullptr) const;
+};
+
+/// Random instance: Cov = A A^T / n with standard-normal A (SPD by
+/// construction), mu uniform in [0, 1].
+PortfolioInstance random_portfolio(int n, int budget, double q,
+                                   std::uint64_t seed);
+
+/// Spin polynomial whose spectrum equals instance.value on every basis
+/// state (including infeasible Hamming weights; the xy mixer never reaches
+/// those when started in-sector).
+TermList portfolio_terms(const PortfolioInstance& inst);
+
+}  // namespace qokit

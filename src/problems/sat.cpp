@@ -1,0 +1,80 @@
+#include "problems/sat.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace qokit {
+
+int SatInstance::violated(std::uint64_t x) const {
+  int count = 0;
+  for (const Clause& c : clauses) {
+    bool sat = false;
+    for (std::size_t j = 0; j < c.vars.size(); ++j) {
+      const bool val = test_bit(x, c.vars[j]);
+      if (val != c.negated[j]) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) ++count;
+  }
+  return count;
+}
+
+bool SatInstance::satisfiable_brute_force() const {
+  if (num_vars > 26)
+    throw std::invalid_argument("satisfiable_brute_force: n too large");
+  for (std::uint64_t x = 0; x < dim_of(num_vars); ++x)
+    if (violated(x) == 0) return true;
+  return false;
+}
+
+SatInstance random_ksat(int n, int k, int m, std::uint64_t seed) {
+  if (k > n || k < 1) throw std::invalid_argument("random_ksat: bad k");
+  Rng rng(seed);
+  SatInstance inst;
+  inst.num_vars = n;
+  inst.clauses.reserve(m);
+  for (int c = 0; c < m; ++c) {
+    Clause cl;
+    // Sample k distinct variables by partial Fisher-Yates over [0, n).
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) pool[i] = i;
+    for (int j = 0; j < k; ++j) {
+      const std::size_t pick = j + rng.uniform_int(n - j);
+      std::swap(pool[j], pool[pick]);
+      cl.vars.push_back(pool[j]);
+      cl.negated.push_back(rng.bernoulli(0.5));
+    }
+    inst.clauses.push_back(std::move(cl));
+  }
+  return inst;
+}
+
+TermList sat_terms(const SatInstance& inst) {
+  TermList t(inst.num_vars, {});
+  for (const Clause& c : inst.clauses) {
+    const int k = static_cast<int>(c.vars.size());
+    const double scale = 1.0 / static_cast<double>(1ull << k);
+    // Clause violated iff every literal is false. With bit=1 -> spin -1,
+    // literal j is false iff sigma_j * s_{v_j} = +1 where sigma_j = +1 for a
+    // positive literal and -1 for a negated one. Hence
+    //   violated = prod_j (1 + sigma_j s_{v_j}) / 2
+    //            = 2^{-k} sum_{S subset [k]} prod_{j in S} sigma_j s_{v_j}.
+    for (std::uint64_t sub = 0; sub < dim_of(k); ++sub) {
+      double w = scale;
+      std::uint64_t mask = 0;
+      for (int j = 0; j < k; ++j) {
+        if (!test_bit(sub, j)) continue;
+        w *= c.negated[j] ? -1.0 : 1.0;
+        mask ^= 1ull << c.vars[j];
+      }
+      t.add_mask(w, mask);
+    }
+  }
+  return t.canonicalize(1e-15);
+}
+
+}  // namespace qokit

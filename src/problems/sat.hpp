@@ -1,0 +1,42 @@
+// Random k-SAT, the workload motivating high-depth QAOA in the paper's
+// introduction (Boulebnane & Montanaro observe speedup only for p >~ 14 on
+// random 8-SAT). The cost function counts violated clauses; each clause
+// expands into 2^k multilinear spin terms, so k-SAT exercises the
+// higher-order-term path of the precomputation kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// One clause: k literals, each a variable index plus a negation flag.
+struct Clause {
+  std::vector<int> vars;
+  std::vector<bool> negated;  ///< negated[j] applies to vars[j]
+};
+
+/// A k-SAT instance on n boolean variables.
+struct SatInstance {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// Number of clauses violated by assignment `x` (bit i = 1 means variable
+  /// i is true).
+  int violated(std::uint64_t x) const;
+
+  /// True if some assignment satisfies all clauses (exhaustive; small n).
+  bool satisfiable_brute_force() const;
+};
+
+/// Uniform random k-SAT: m clauses over n variables, each with k distinct
+/// variables and independent random polarities.
+SatInstance random_ksat(int n, int k, int m, std::uint64_t seed);
+
+/// Cost polynomial whose value on every basis state equals the number of
+/// violated clauses. Each clause contributes 2^k terms of weight +-2^{-k}.
+TermList sat_terms(const SatInstance& inst);
+
+}  // namespace qokit

@@ -1,0 +1,33 @@
+#include "problems/sk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace qokit {
+
+TermList sk_terms(int n, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("sk_terms: need n >= 2");
+  Rng rng(seed);
+  TermList t(n, {});
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      t.add(rng.bernoulli(0.5) ? scale : -scale, {i, j});
+  return t.canonicalize();
+}
+
+double sk_brute_force(const TermList& terms) {
+  const int n = terms.num_qubits();
+  if (n > 28) throw std::invalid_argument("sk_brute_force: n too large");
+  double best = 1e300;
+  // f(x) = f(~x): fixing the top spin halves the search.
+  for (std::uint64_t x = 0; x < dim_of(n - 1); ++x)
+    best = std::min(best, terms.evaluate(x));
+  return best;
+}
+
+}  // namespace qokit

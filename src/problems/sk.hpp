@@ -1,0 +1,24 @@
+// Sherrington-Kirkpatrick spin glass: the standard dense-quadratic QAOA
+// benchmark complementing sparse MaxCut and high-order LABS.
+//
+//     f(s) = (1/sqrt(n)) * sum_{i<j} J_ij s_i s_j,   J_ij in {-1, +1}.
+//
+// All C(n, 2) pairs carry a coupling, so the phase-operator circuit is
+// dense even at order 2 -- a different stressor for gate-based baselines
+// than LABS' high-order terms.
+#pragma once
+
+#include <cstdint>
+
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Random SK instance with Rademacher couplings J_ij = +-1 scaled by
+/// 1/sqrt(n).
+TermList sk_terms(int n, std::uint64_t seed);
+
+/// Exhaustive minimum of f; O(2^{n-1}) using the flip symmetry.
+double sk_brute_force(const TermList& terms);
+
+}  // namespace qokit

@@ -1,0 +1,47 @@
+#include "statevector/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qokit {
+
+StateSampler::StateSampler(const StateVector& sv) {
+  cumulative_.resize(sv.size());
+  double acc = 0.0;
+  for (std::uint64_t x = 0; x < sv.size(); ++x) {
+    acc += std::norm(sv[x]);
+    cumulative_[x] = acc;
+  }
+  if (acc <= 0.0)
+    throw std::invalid_argument("StateSampler: zero-norm state");
+}
+
+std::uint64_t StateSampler::sample(Rng& rng) const {
+  const double u = rng.uniform() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::uint64_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(
+                                   cumulative_.size()) - 1));
+}
+
+std::vector<std::uint64_t> StateSampler::sample(int shots, Rng& rng) const {
+  std::vector<std::uint64_t> out(shots);
+  for (auto& x : out) x = sample(rng);
+  return out;
+}
+
+std::map<std::uint64_t, int> StateSampler::sample_counts(int shots,
+                                                         Rng& rng) const {
+  std::map<std::uint64_t, int> counts;
+  for (int s = 0; s < shots; ++s) ++counts[sample(rng)];
+  return counts;
+}
+
+std::vector<std::uint64_t> sample_states(const StateVector& sv, int shots,
+                                         Rng& rng) {
+  return StateSampler(sv).sample(shots, rng);
+}
+
+}  // namespace qokit

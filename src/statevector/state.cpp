@@ -1,0 +1,93 @@
+#include "statevector/state.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+
+StateVector::StateVector(int num_qubits) : n_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 34)
+    throw std::invalid_argument("StateVector: unsupported qubit count");
+  amp_.assign(dim_of(num_qubits), cdouble(0.0, 0.0));
+}
+
+StateVector StateVector::basis_state(int num_qubits, std::uint64_t x) {
+  StateVector sv(num_qubits);
+  if (x >= sv.size()) throw std::out_of_range("basis_state: index too large");
+  sv.amp_[x] = cdouble(1.0, 0.0);
+  return sv;
+}
+
+StateVector StateVector::plus_state(int num_qubits) {
+  StateVector sv(num_qubits);
+  const double a = 1.0 / std::sqrt(static_cast<double>(sv.size()));
+  for (auto& v : sv.amp_) v = cdouble(a, 0.0);
+  return sv;
+}
+
+StateVector StateVector::dicke_state(int num_qubits, int weight) {
+  if (weight < 0 || weight > num_qubits)
+    throw std::invalid_argument("dicke_state: weight out of range");
+  StateVector sv(num_qubits);
+  std::uint64_t count = 0;
+  for (std::uint64_t x = 0; x < sv.size(); ++x)
+    if (popcount(x) == weight) ++count;
+  const double a = 1.0 / std::sqrt(static_cast<double>(count));
+  for (std::uint64_t x = 0; x < sv.size(); ++x)
+    if (popcount(x) == weight) sv.amp_[x] = cdouble(a, 0.0);
+  return sv;
+}
+
+double StateVector::norm_squared(Exec exec) const {
+  const cdouble* a = amp_.data();
+  return parallel_reduce_sum(exec, 0, static_cast<std::int64_t>(size()),
+                             [a](std::int64_t i) { return std::norm(a[i]); });
+}
+
+void StateVector::normalize() {
+  const double n2 = norm_squared();
+  if (n2 <= 0.0) throw std::runtime_error("normalize: zero vector");
+  const double inv = 1.0 / std::sqrt(n2);
+  for (auto& v : amp_) v *= inv;
+}
+
+cdouble StateVector::inner(const StateVector& other) const {
+  if (other.size() != size())
+    throw std::invalid_argument("inner: dimension mismatch");
+  cdouble acc(0.0, 0.0);
+  for (std::uint64_t i = 0; i < size(); ++i)
+    acc += std::conj(amp_[i]) * other.amp_[i];
+  return acc;
+}
+
+void StateVector::probabilities_in_place(Exec exec) {
+  cdouble* a = amp_.data();
+  parallel_for(exec, 0, static_cast<std::int64_t>(size()),
+               [a](std::int64_t i) { a[i] = cdouble(std::norm(a[i]), 0.0); });
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> p(size());
+  for (std::uint64_t i = 0; i < size(); ++i) p[i] = std::norm(amp_[i]);
+  return p;
+}
+
+double StateVector::weight_sector_mass(int k) const {
+  double acc = 0.0;
+  for (std::uint64_t x = 0; x < size(); ++x)
+    if (popcount(x) == k) acc += std::norm(amp_[x]);
+  return acc;
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  if (other.size() != size())
+    throw std::invalid_argument("max_abs_diff: dimension mismatch");
+  double m = 0.0;
+  for (std::uint64_t i = 0; i < size(); ++i)
+    m = std::max(m, std::abs(amp_[i] - other.amp_[i]));
+  return m;
+}
+
+}  // namespace qokit

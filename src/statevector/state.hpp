@@ -1,0 +1,73 @@
+// The 2^n complex128 state vector and its initial states.
+//
+// Matches the paper's storage model: double-precision amplitudes, qubit q at
+// bit q of the index. Initial states cover |+>^n (transverse-field mixer)
+// and Dicke states |D_n^k> (Hamming-weight-preserving xy mixers).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/parallel.hpp"
+
+namespace qokit {
+
+using cdouble = std::complex<double>;
+
+/// Owning 2^n-amplitude state vector.
+class StateVector {
+ public:
+  StateVector() = default;
+
+  /// All-zero (invalid, norm 0) vector of n qubits; fill before use.
+  explicit StateVector(int num_qubits);
+
+  /// |x> for a computational basis state x.
+  static StateVector basis_state(int num_qubits, std::uint64_t x);
+
+  /// Uniform superposition |+>^n, the standard QAOA initial state.
+  static StateVector plus_state(int num_qubits);
+
+  /// Dicke state |D_n^k>: equal superposition of all basis states with
+  /// Hamming weight k. The in-sector initial state for xy mixers.
+  static StateVector dicke_state(int num_qubits, int weight);
+
+  int num_qubits() const noexcept { return n_; }
+  std::uint64_t size() const noexcept { return amp_.size(); }
+  cdouble* data() noexcept { return amp_.data(); }
+  const cdouble* data() const noexcept { return amp_.data(); }
+  cdouble& operator[](std::uint64_t i) noexcept { return amp_[i]; }
+  const cdouble& operator[](std::uint64_t i) const noexcept { return amp_[i]; }
+
+  /// Squared 2-norm sum |a_x|^2 (1 for a valid quantum state).
+  double norm_squared(Exec exec = Exec::Serial) const;
+
+  /// Scale so that norm_squared() == 1. Throws on the zero vector.
+  void normalize();
+
+  /// <this|other>.
+  cdouble inner(const StateVector& other) const;
+
+  /// |a_x|^2 for every x.
+  std::vector<double> probabilities() const;
+
+  /// Destructive variant (QOKit's preserve_state=False): overwrite each
+  /// amplitude with |a_x|^2 + 0i in place, avoiding the extra 2^n-double
+  /// allocation. The state is no longer a quantum state afterwards; read
+  /// the probabilities from the real parts.
+  void probabilities_in_place(Exec exec = Exec::Parallel);
+
+  /// Total probability mass on basis states of Hamming weight k.
+  double weight_sector_mass(int k) const;
+
+  /// Max |a_x - b_x| between two states (test/diagnostic helper).
+  double max_abs_diff(const StateVector& other) const;
+
+ private:
+  int n_ = 0;
+  aligned_vector<cdouble> amp_;
+};
+
+}  // namespace qokit

@@ -1,0 +1,134 @@
+#include "tn/contract.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace qokit {
+namespace tn {
+namespace {
+
+/// Number of labels shared by two tensors.
+int shared_count(const Tensor& a, const Tensor& b) {
+  int s = 0;
+  for (int la : a.labels)
+    if (b.find_label(la) >= 0) ++s;
+  return s;
+}
+
+}  // namespace
+
+cdouble contract_network(Network net, ContractionStats* stats) {
+  auto& ts = net.tensors;
+  if (ts.empty()) throw std::invalid_argument("contract_network: empty");
+  ContractionStats local;
+
+  while (ts.size() > 1) {
+    // Greedy pair selection: smallest resulting tensor; among ties prefer
+    // more shared legs (cheaper). Pairs sharing no label (outer products)
+    // are only taken if nothing shares.
+    std::size_t bi = 0, bj = 1;
+    long long best_result_rank = std::numeric_limits<long long>::max();
+    int best_shared = -1;
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      for (std::size_t j = i + 1; j < ts.size(); ++j) {
+        const int s = shared_count(ts[i], ts[j]);
+        const long long rr = ts[i].rank() + ts[j].rank() - 2LL * s;
+        const long long penalty = s == 0 ? 1000 : 0;  // avoid outer products
+        if (rr + penalty < best_result_rank ||
+            (rr + penalty == best_result_rank && s > best_shared)) {
+          best_result_rank = rr + penalty;
+          best_shared = s;
+          bi = i;
+          bj = j;
+        }
+      }
+
+    const int s = shared_count(ts[bi], ts[bj]);
+    local.flops += 1ull << (ts[bi].rank() + ts[bj].rank() - s);
+    Tensor merged = contract_pair(ts[bi], ts[bj]);
+    local.max_rank = std::max(local.max_rank, merged.rank());
+    ++local.contractions;
+    // Replace i, erase j (j > i).
+    ts[bi] = std::move(merged);
+    ts.erase(ts.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  if (stats) *stats = local;
+  return scalar_value(ts[0]);
+}
+
+cdouble amplitude(const Circuit& c, std::uint64_t out_bits, bool plus_input,
+                  ContractionStats* stats) {
+  return contract_network(build_amplitude_network(c, out_bits, plus_input),
+                          stats);
+}
+
+namespace {
+
+/// Fix label `label` of every tensor containing it to bit value `bit`:
+/// the tensor loses that index and keeps the matching half of its data.
+void fix_label(Tensor& t, int label, int bit) {
+  const int pos = t.find_label(label);
+  if (pos < 0) return;
+  Tensor out;
+  out.labels = t.labels;
+  out.labels.erase(out.labels.begin() + pos);
+  out.data.resize(t.size() >> 1);
+  const std::uint64_t low = (1ull << pos) - 1;
+  for (std::uint64_t i = 0; i < out.data.size(); ++i) {
+    const std::uint64_t src = ((i & ~low) << 1) | (i & low) |
+                              (static_cast<std::uint64_t>(bit) << pos);
+    out.data[i] = t.data[src];
+  }
+  t = std::move(out);
+}
+
+/// Labels sorted by total degree (sum of ranks of the tensors touching
+/// them) -- slicing high-degree labels cuts the biggest intermediates.
+std::vector<int> slicing_candidates(const Network& net) {
+  std::map<int, int> degree;
+  for (const Tensor& t : net.tensors)
+    for (int l : t.labels) degree[l] += t.rank();
+  std::vector<int> labels;
+  for (const auto& [l, d] : degree) labels.push_back(l);
+  std::sort(labels.begin(), labels.end(), [&](int a, int b) {
+    return degree[a] > degree[b];
+  });
+  return labels;
+}
+
+}  // namespace
+
+cdouble amplitude_sliced(const Circuit& c, std::uint64_t out_bits,
+                         int num_sliced, bool plus_input,
+                         ContractionStats* stats) {
+  if (num_sliced < 0 || num_sliced > 30)
+    throw std::invalid_argument("amplitude_sliced: bad slice count");
+  const Network base = build_amplitude_network(c, out_bits, plus_input);
+  std::vector<int> sliced = slicing_candidates(base);
+  if (static_cast<int>(sliced.size()) < num_sliced)
+    throw std::invalid_argument("amplitude_sliced: too few labels to slice");
+  sliced.resize(num_sliced);
+
+  ContractionStats agg;
+  cdouble total(0.0, 0.0);
+  const std::uint64_t slices = 1ull << num_sliced;
+  for (std::uint64_t assignment = 0; assignment < slices; ++assignment) {
+    Network restricted = base;  // deep copy per slice
+    for (int j = 0; j < num_sliced; ++j)
+      for (Tensor& t : restricted.tensors)
+        fix_label(t, sliced[j], (assignment >> j) & 1);
+    ContractionStats local;
+    total += contract_network(std::move(restricted), &local);
+    agg.max_rank = std::max(agg.max_rank, local.max_rank);
+    agg.flops += local.flops;
+    agg.contractions += local.contractions;
+  }
+  if (stats) *stats = agg;
+  return total;
+}
+
+}  // namespace tn
+}  // namespace qokit

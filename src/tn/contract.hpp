@@ -1,0 +1,43 @@
+// Greedy contraction-order search and execution.
+//
+// Order search mirrors the standard greedy heuristic (pick the pair whose
+// contraction yields the smallest intermediate); the reported max
+// intermediate rank is the "contraction width" of paper Sec. V-A, which
+// for deep QAOA circuits grows to n and is why TN baselines lose to
+// state-vector simulation there.
+#pragma once
+
+#include <cstdint>
+
+#include "gatesim/circuit.hpp"
+#include "tn/network.hpp"
+
+namespace qokit {
+namespace tn {
+
+/// Telemetry from a full contraction.
+struct ContractionStats {
+  int max_rank = 0;           ///< largest intermediate tensor rank (width)
+  std::uint64_t flops = 0;    ///< summed 2^{rank(a)+rank(b)-|shared|} costs
+  int contractions = 0;
+};
+
+/// Contract a closed network down to its scalar value.
+cdouble contract_network(Network net, ContractionStats* stats = nullptr);
+
+/// Amplitude <out_bits| C |in> via network contraction.
+cdouble amplitude(const Circuit& c, std::uint64_t out_bits,
+                  bool plus_input = false, ContractionStats* stats = nullptr);
+
+/// Memory-bounded contraction via index slicing, the standard big-TN
+/// technique (used by the cuTensorNet/QTensor class of simulators): fix
+/// the values of `num_sliced` high-degree labels, contract each of the
+/// 2^num_sliced restricted networks independently, and sum. Peak memory
+/// drops by ~2^num_sliced at the cost of redundant work; the slices are
+/// embarrassingly parallel (each OpenMP task contracts one).
+cdouble amplitude_sliced(const Circuit& c, std::uint64_t out_bits,
+                         int num_sliced, bool plus_input = false,
+                         ContractionStats* stats = nullptr);
+
+}  // namespace tn
+}  // namespace qokit

@@ -1,0 +1,216 @@
+#include "tn/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace tn {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+/// Rank-2 tensor of a 1-qubit gate: labels [in, out],
+/// data[b_in + 2 b_out] = M[b_out][b_in].
+Tensor tensor_1q(const std::array<cdouble, 4>& m, int in, int out) {
+  Tensor t;
+  t.labels = {in, out};
+  t.data.resize(4);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) t.data[c + 2 * r] = m[r * 2 + c];
+  return t;
+}
+
+/// Rank-4 tensor of a 2-qubit gate with matrix convention
+/// row/col = b_q0 + 2 b_q1: labels [in0, in1, out0, out1].
+Tensor tensor_2q(const std::array<cdouble, 16>& m, int in0, int in1, int out0,
+                 int out1) {
+  Tensor t;
+  t.labels = {in0, in1, out0, out1};
+  t.data.resize(16);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) t.data[c + 4 * r] = m[r * 4 + c];
+  return t;
+}
+
+std::array<cdouble, 4> matrix_h() {
+  return {cdouble(kInvSqrt2), cdouble(kInvSqrt2), cdouble(kInvSqrt2),
+          cdouble(-kInvSqrt2)};
+}
+
+std::array<cdouble, 4> matrix_rx(double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return {cdouble(c), cdouble(0, -s), cdouble(0, -s), cdouble(c)};
+}
+
+std::array<cdouble, 4> matrix_ry(double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return {cdouble(c), cdouble(-s), cdouble(s), cdouble(c)};
+}
+
+std::array<cdouble, 16> matrix_cz() {
+  std::array<cdouble, 16> m{};
+  for (int in = 0; in < 4; ++in)
+    m[in * 4 + in] = in == 3 ? cdouble(-1.0) : cdouble(1.0);
+  return m;
+}
+
+std::array<cdouble, 16> matrix_swap() {
+  std::array<cdouble, 16> m{};
+  for (int in = 0; in < 4; ++in) {
+    const int out = ((in & 1) << 1) | ((in >> 1) & 1);
+    m[out * 4 + in] = cdouble(1.0);
+  }
+  return m;
+}
+
+std::array<cdouble, 16> matrix_cx() {
+  std::array<cdouble, 16> m{};
+  for (int in = 0; in < 4; ++in) {
+    const int b0 = in & 1, b1 = (in >> 1) & 1;
+    m[(b0 | ((b1 ^ b0) << 1)) * 4 + in] = cdouble(1.0);
+  }
+  return m;
+}
+
+std::array<cdouble, 16> matrix_xy(double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  std::array<cdouble, 16> m{};
+  m[0] = cdouble(1.0);
+  m[15] = cdouble(1.0);
+  m[1 * 4 + 1] = cdouble(c);
+  m[1 * 4 + 2] = cdouble(0, -s);
+  m[2 * 4 + 1] = cdouble(0, -s);
+  m[2 * 4 + 2] = cdouble(c);
+  return m;
+}
+
+}  // namespace
+
+Network build_amplitude_network(const Circuit& c, std::uint64_t out_bits,
+                                bool plus_input) {
+  const int n = c.num_qubits();
+  Network net;
+  int next_label = 0;
+  std::vector<int> wire(n);
+
+  // Input caps.
+  for (int q = 0; q < n; ++q) {
+    wire[q] = next_label++;
+    Tensor t;
+    t.labels = {wire[q]};
+    t.data = plus_input
+                 ? std::vector<cdouble>{cdouble(kInvSqrt2), cdouble(kInvSqrt2)}
+                 : std::vector<cdouble>{cdouble(1.0), cdouble(0.0)};
+    net.tensors.push_back(std::move(t));
+  }
+
+  for (const Gate& g : c.gates()) {
+    switch (g.kind) {
+      case GateKind::H: {
+        const int out = next_label++;
+        net.tensors.push_back(tensor_1q(matrix_h(), wire[g.q0], out));
+        wire[g.q0] = out;
+        break;
+      }
+      case GateKind::RX: {
+        const int out = next_label++;
+        net.tensors.push_back(tensor_1q(matrix_rx(g.param), wire[g.q0], out));
+        wire[g.q0] = out;
+        break;
+      }
+      case GateKind::RY: {
+        const int out = next_label++;
+        net.tensors.push_back(tensor_1q(matrix_ry(g.param), wire[g.q0], out));
+        wire[g.q0] = out;
+        break;
+      }
+      case GateKind::CZ: {
+        const int o0 = next_label++, o1 = next_label++;
+        net.tensors.push_back(
+            tensor_2q(matrix_cz(), wire[g.q0], wire[g.q1], o0, o1));
+        wire[g.q0] = o0;
+        wire[g.q1] = o1;
+        break;
+      }
+      case GateKind::SWAP: {
+        const int o0 = next_label++, o1 = next_label++;
+        net.tensors.push_back(
+            tensor_2q(matrix_swap(), wire[g.q0], wire[g.q1], o0, o1));
+        wire[g.q0] = o0;
+        wire[g.q1] = o1;
+        break;
+      }
+      case GateKind::U1: {
+        const int out = next_label++;
+        net.tensors.push_back(tensor_1q(g.m1, wire[g.q0], out));
+        wire[g.q0] = out;
+        break;
+      }
+      case GateKind::CX: {
+        const int o0 = next_label++, o1 = next_label++;
+        net.tensors.push_back(
+            tensor_2q(matrix_cx(), wire[g.q0], wire[g.q1], o0, o1));
+        wire[g.q0] = o0;
+        wire[g.q1] = o1;
+        break;
+      }
+      case GateKind::XY: {
+        const int o0 = next_label++, o1 = next_label++;
+        net.tensors.push_back(
+            tensor_2q(matrix_xy(g.param), wire[g.q0], wire[g.q1], o0, o1));
+        wire[g.q0] = o0;
+        wire[g.q1] = o1;
+        break;
+      }
+      case GateKind::U2: {
+        const int o0 = next_label++, o1 = next_label++;
+        net.tensors.push_back(
+            tensor_2q(g.m2, wire[g.q0], wire[g.q1], o0, o1));
+        wire[g.q0] = o0;
+        wire[g.q1] = o1;
+        break;
+      }
+      case GateKind::RZ:
+      case GateKind::ZPhase: {
+        // Rank-2k diagonal tensor over the masked qubits.
+        std::vector<int> qs;
+        for (int q = 0; q < n; ++q)
+          if (test_bit(g.zmask, q)) qs.push_back(q);
+        const int k = static_cast<int>(qs.size());
+        Tensor t;
+        t.labels.reserve(2 * k);
+        for (int j = 0; j < k; ++j) t.labels.push_back(wire[qs[j]]);
+        for (int j = 0; j < k; ++j) {
+          const int out = next_label++;
+          t.labels.push_back(out);
+          wire[qs[j]] = out;
+        }
+        t.data.assign(1ull << (2 * k), cdouble(0.0, 0.0));
+        const cdouble even(std::cos(g.param / 2), -std::sin(g.param / 2));
+        const cdouble odd = std::conj(even);
+        for (std::uint64_t in = 0; in < dim_of(k); ++in) {
+          const std::uint64_t idx = in | (in << k);  // diagonal entry
+          t.data[idx] = parity(in) ? odd : even;
+        }
+        net.tensors.push_back(std::move(t));
+        break;
+      }
+    }
+  }
+
+  // Output caps <b|.
+  for (int q = 0; q < n; ++q) {
+    Tensor t;
+    t.labels = {wire[q]};
+    t.data = test_bit(out_bits, q)
+                 ? std::vector<cdouble>{cdouble(0.0), cdouble(1.0)}
+                 : std::vector<cdouble>{cdouble(1.0), cdouble(0.0)};
+    net.tensors.push_back(std::move(t));
+  }
+  return net;
+}
+
+}  // namespace tn
+}  // namespace qokit

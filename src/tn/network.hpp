@@ -1,0 +1,35 @@
+// Circuit -> tensor network builder for single-amplitude evaluation
+// <x | U_circuit | in>, the quantity the paper times for its tensor-network
+// baselines ("running calculation of a single probability amplitude ...
+// and dividing the total contraction time by p", Sec. V-A).
+//
+// Every gate becomes a tensor with fresh output labels, so each label
+// appears in exactly two tensors (an ordinary edge) and pairwise
+// contraction is complete. A k-local ZPhase becomes a rank-2k diagonal
+// tensor; deep QAOA phase layers therefore stack many high-order diagonal
+// tensors per wire, which is exactly what drives the contraction width
+// toward n and makes TN methods lose on deep circuits (paper Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gatesim/circuit.hpp"
+#include "tn/tensor.hpp"
+
+namespace qokit {
+namespace tn {
+
+/// A closed (scalar-valued) tensor network.
+struct Network {
+  std::vector<Tensor> tensors;
+};
+
+/// Build the network for amplitude <out_bits | C | in>, where |in> is
+/// |+>^n when plus_input is true and |0...0> otherwise. Supports every
+/// gate kind of the gatesim module.
+Network build_amplitude_network(const Circuit& c, std::uint64_t out_bits,
+                                bool plus_input = false);
+
+}  // namespace tn
+}  // namespace qokit

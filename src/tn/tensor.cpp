@@ -1,0 +1,79 @@
+#include "tn/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qokit {
+namespace tn {
+
+int Tensor::find_label(int label) const noexcept {
+  for (int j = 0; j < rank(); ++j)
+    if (labels[j] == label) return j;
+  return -1;
+}
+
+Tensor permute(const Tensor& t, const std::vector<int>& new_order) {
+  if (new_order.size() != t.labels.size())
+    throw std::invalid_argument("permute: order size mismatch");
+  std::vector<int> src_pos(new_order.size());
+  for (std::size_t j = 0; j < new_order.size(); ++j) {
+    const int p = t.find_label(new_order[j]);
+    if (p < 0) throw std::invalid_argument("permute: unknown label");
+    src_pos[j] = p;
+  }
+  Tensor out;
+  out.labels = new_order;
+  out.data.resize(t.data.size());
+  const int r = t.rank();
+  for (std::uint64_t idx = 0; idx < out.data.size(); ++idx) {
+    std::uint64_t src = 0;
+    for (int j = 0; j < r; ++j)
+      src |= ((idx >> j) & 1ull) << src_pos[j];
+    out.data[idx] = t.data[src];
+  }
+  return out;
+}
+
+Tensor contract_pair(const Tensor& a, const Tensor& b) {
+  // Split labels into shared and free.
+  std::vector<int> shared, free_a, free_b;
+  for (int la : a.labels)
+    (b.find_label(la) >= 0 ? shared : free_a).push_back(la);
+  for (int lb : b.labels)
+    if (a.find_label(lb) < 0) free_b.push_back(lb);
+
+  // Layouts: A' = [free_a..., shared...], B' = [shared..., free_b...].
+  std::vector<int> order_a = free_a;
+  order_a.insert(order_a.end(), shared.begin(), shared.end());
+  std::vector<int> order_b = shared;
+  order_b.insert(order_b.end(), free_b.begin(), free_b.end());
+  const Tensor pa = permute(a, order_a);
+  const Tensor pb = permute(b, order_b);
+
+  const std::uint64_t na = 1ull << free_a.size();
+  const std::uint64_t ns = 1ull << shared.size();
+  const std::uint64_t nb = 1ull << free_b.size();
+
+  Tensor out;
+  out.labels = free_a;
+  out.labels.insert(out.labels.end(), free_b.begin(), free_b.end());
+  out.data.assign(na * nb, cdouble(0.0, 0.0));
+  // C[fa, fb] = sum_s A'[fa + (s << |Fa|)] * B'[s + (fb << |S|)].
+  for (std::uint64_t fb = 0; fb < nb; ++fb)
+    for (std::uint64_t s = 0; s < ns; ++s) {
+      const cdouble bv = pb.data[s + (fb << shared.size())];
+      if (bv == cdouble(0.0, 0.0)) continue;
+      const cdouble* arow = pa.data.data() + (s << free_a.size());
+      cdouble* crow = out.data.data() + (fb << free_a.size());
+      for (std::uint64_t fa = 0; fa < na; ++fa) crow[fa] += arow[fa] * bv;
+    }
+  return out;
+}
+
+cdouble scalar_value(const Tensor& t) {
+  if (t.rank() != 0) throw std::invalid_argument("scalar_value: rank != 0");
+  return t.data[0];
+}
+
+}  // namespace tn
+}  // namespace qokit

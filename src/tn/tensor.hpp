@@ -1,0 +1,41 @@
+// Dense labeled tensors over 2-dimensional indices -- the minimal core of
+// a tensor-network simulator (the cuTensorNet / QTensor comparator class
+// of paper Fig. 3). Every index (label) in a circuit-derived network is
+// shared by exactly two tensors, so pairwise contraction over shared
+// labels is the only primitive needed.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "statevector/state.hpp"
+
+namespace qokit {
+namespace tn {
+
+/// Dense tensor; index j of the flat offset corresponds to labels[j]
+/// (labels[0] is the least-significant bit).
+struct Tensor {
+  std::vector<int> labels;
+  std::vector<cdouble> data;
+
+  int rank() const noexcept { return static_cast<int>(labels.size()); }
+  std::uint64_t size() const noexcept { return 1ull << labels.size(); }
+
+  /// Position of `label` in labels, or -1.
+  int find_label(int label) const noexcept;
+};
+
+/// Reorder tensor indices to `new_order` (a permutation of t.labels).
+Tensor permute(const Tensor& t, const std::vector<int>& new_order);
+
+/// Contract over all shared labels (each assumed to appear once per
+/// tensor). Result labels: a's free labels then b's free labels.
+Tensor contract_pair(const Tensor& a, const Tensor& b);
+
+/// Value of a rank-0 tensor.
+cdouble scalar_value(const Tensor& t);
+
+}  // namespace tn
+}  // namespace qokit

@@ -1,0 +1,105 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qokit {
+namespace {
+
+TEST(Bitops, PopcountBasics) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(1), 1);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(popcount(~0ull), 64);
+}
+
+TEST(Bitops, ParityBasics) {
+  EXPECT_EQ(parity(0), 0);
+  EXPECT_EQ(parity(1), 1);
+  EXPECT_EQ(parity(0b11), 0);
+  EXPECT_EQ(parity(0b111), 1);
+}
+
+TEST(Bitops, ParitySignMatchesSpinProduct) {
+  // parity_sign(x, mask) must equal prod_{i in mask} s_i with s = 1 - 2b.
+  for (std::uint64_t x = 0; x < 64; ++x)
+    for (std::uint64_t mask : {0b1ull, 0b110ull, 0b101101ull}) {
+      double prod = 1.0;
+      for (int q = 0; q < 6; ++q)
+        if (test_bit(mask, q)) prod *= spin_of_bit(x, q);
+      EXPECT_DOUBLE_EQ(parity_sign(x, mask), prod) << "x=" << x;
+    }
+}
+
+TEST(Bitops, SpinOfBitConvention) {
+  EXPECT_EQ(spin_of_bit(0b0, 0), 1);   // bit 0 -> spin +1
+  EXPECT_EQ(spin_of_bit(0b1, 0), -1);  // bit 1 -> spin -1
+  EXPECT_EQ(spin_of_bit(0b10, 1), -1);
+  EXPECT_EQ(spin_of_bit(0b10, 0), 1);
+}
+
+TEST(Bitops, SetAndTestBit) {
+  std::uint64_t x = 0;
+  x = set_bit(x, 5);
+  EXPECT_TRUE(test_bit(x, 5));
+  EXPECT_FALSE(test_bit(x, 4));
+  EXPECT_EQ(x, 32u);
+}
+
+TEST(Bitops, DimOf) {
+  EXPECT_EQ(dim_of(0), 1u);
+  EXPECT_EQ(dim_of(1), 2u);
+  EXPECT_EQ(dim_of(10), 1024u);
+  EXPECT_EQ(dim_of(30), 1ull << 30);
+}
+
+class InsertZeroBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertZeroBitTest, ProducesAllIndicesWithBitClear) {
+  const int q = GetParam();
+  const int n = 6;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < dim_of(n - 1); ++k) {
+    const std::uint64_t i = insert_zero_bit(k, q);
+    EXPECT_FALSE(test_bit(i, q)) << "bit q must be zero";
+    EXPECT_LT(i, dim_of(n));
+    seen.insert(i);
+  }
+  // Exactly the 2^{n-1} indices with bit q clear, each exactly once.
+  EXPECT_EQ(seen.size(), dim_of(n - 1));
+}
+
+TEST_P(InsertZeroBitTest, IsMonotone) {
+  const int q = GetParam();
+  std::uint64_t prev = 0;
+  for (std::uint64_t k = 1; k < 64; ++k) {
+    const std::uint64_t i = insert_zero_bit(k, q);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, InsertZeroBitTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(Bitops, InsertTwoZeroBitsCoversFourElementOrbits) {
+  const int n = 6;
+  const int q_lo = 1, q_hi = 4;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t k = 0; k < dim_of(n - 2); ++k) {
+    const std::uint64_t base = insert_two_zero_bits(k, q_lo, q_hi);
+    EXPECT_FALSE(test_bit(base, q_lo));
+    EXPECT_FALSE(test_bit(base, q_hi));
+    seen.insert(base);
+  }
+  EXPECT_EQ(seen.size(), dim_of(n - 2));
+}
+
+TEST(Bitops, InsertZeroBitAtZeroDoublesIndex) {
+  for (std::uint64_t k = 0; k < 32; ++k)
+    EXPECT_EQ(insert_zero_bit(k, 0), 2 * k);
+}
+
+}  // namespace
+}  // namespace qokit

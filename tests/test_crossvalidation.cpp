@@ -1,0 +1,183 @@
+// Randomized cross-validation: every backend must agree with every other
+// on random problems and random schedules. These are the repository's
+// belt-and-braces property tests; each seed exercises a different problem
+// family, schedule, and size.
+#include <gtest/gtest.h>
+
+#include "api/qokit.hpp"
+
+namespace qokit {
+namespace {
+
+/// Deterministic random problem for a seed: cycles through families.
+TermList random_problem(std::uint64_t seed, int* n_out) {
+  Rng rng(seed * 7919);
+  const int n = 6 + static_cast<int>(rng.uniform_int(5));  // 6..10
+  *n_out = n;
+  switch (seed % 4) {
+    case 0:
+      return maxcut_terms(Graph::random_regular(n - (n % 2), 3, seed));
+    case 1:
+      return labs_terms(n);
+    case 2:
+      return sat_terms(random_ksat(n, 3, 3 * n, seed));
+    default:
+      return sk_terms(n, seed);
+  }
+}
+
+std::pair<std::vector<double>, std::vector<double>> random_schedule(
+    std::uint64_t seed, int p) {
+  Rng rng(seed * 104729);
+  std::vector<double> g(p), b(p);
+  for (int l = 0; l < p; ++l) {
+    g[l] = rng.uniform(-0.6, 0.6);
+    b[l] = rng.uniform(-0.9, 0.9);
+  }
+  return {g, b};
+}
+
+class BackendAgreementTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BackendAgreementTest, AllBackendsProduceTheSameState) {
+  const std::uint64_t seed = GetParam();
+  int n = 0;
+  const TermList terms = random_problem(seed, &n);
+  if (terms.num_qubits() < 2) GTEST_SKIP();
+  const auto [g, b] = random_schedule(seed, 1 + static_cast<int>(seed % 3));
+
+  const FurQaoaSimulator reference(terms, {.exec = Exec::Serial});
+  const StateVector ref = reference.simulate_qaoa(g, b);
+
+  // Threaded fused-kernel backend.
+  const FurQaoaSimulator threaded(terms, {});
+  EXPECT_LT(threaded.simulate_qaoa(g, b).max_abs_diff(ref), 1e-10) << seed;
+
+  // FWHT mixer backend.
+  const FurQaoaSimulator fwht_sim(terms, {.backend = MixerBackend::Fwht});
+  EXPECT_LT(fwht_sim.simulate_qaoa(g, b).max_abs_diff(ref), 1e-10) << seed;
+
+  // Gate-based baseline, both phase decompositions.
+  for (const auto style : {PhaseStyle::CxLadder, PhaseStyle::MultiZ}) {
+    const GateQaoaSimulator gates(terms, {.phase_style = style});
+    EXPECT_LT(gates.simulate_qaoa(g, b).max_abs_diff(ref), 1e-9)
+        << seed << " style " << static_cast<int>(style);
+  }
+
+  // Distributed over 2 and 4 virtual ranks.
+  for (const int k : {2, 4}) {
+    if (2 * k > (1 << 30)) continue;
+    const DistributedFurSimulator dist_sim(terms, {.ranks = k});
+    EXPECT_LT(dist_sim.simulate_qaoa(g, b).max_abs_diff(ref), 1e-10)
+        << seed << " K=" << k;
+  }
+
+  // Expectations agree between the diagonal and the raw-terms path.
+  EXPECT_NEAR(reference.get_expectation(ref), expectation_terms(ref, terms),
+              1e-9)
+      << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class SymmetricAgreementTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymmetricAgreementTest, HalfSpaceAgreesOnSymmetricProblems) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const int n = 6 + static_cast<int>(rng.uniform_int(4));
+  const TermList terms = seed % 2 == 0
+                             ? labs_terms(n)
+                             : sk_terms(n, seed);
+  const auto [g, b] = random_schedule(seed, 2);
+  const FurQaoaSimulator full(terms, {.exec = Exec::Serial});
+  const SymmetricFurSimulator half(terms, Exec::Serial);
+  const StateVector f = full.simulate_qaoa(g, b);
+  const StateVector h = half.simulate_qaoa(g, b);
+  EXPECT_NEAR(full.get_expectation(f), half.get_expectation(h), 1e-9) << seed;
+  EXPECT_NEAR(full.get_overlap(f), half.get_overlap(h), 1e-10) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetricAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class AlltoallInvolutionTest
+    : public ::testing::TestWithParam<AlltoallStrategy> {};
+
+TEST_P(AlltoallInvolutionTest, TwoApplicationsRestoreTheData) {
+  const AlltoallStrategy strategy = GetParam();
+  const int k = 8;
+  const std::uint64_t block = 32;
+  VirtualRankWorld world(k, strategy);
+  std::vector<std::vector<cdouble>> bufs(k);
+  world.run([&](Communicator& comm) {
+    Rng rng(1000 + comm.rank());
+    auto& mine = bufs[comm.rank()];
+    mine.resize(k * block);
+    for (auto& v : mine) v = cdouble(rng.normal(), rng.normal());
+    const auto original = mine;
+    comm.alltoall(mine.data(), block);
+    comm.alltoall(mine.data(), block);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      if (mine[i] != original[i]) ADD_FAILURE() << "rank " << comm.rank();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AlltoallInvolutionTest,
+                         ::testing::Values(AlltoallStrategy::Staged,
+                                           AlltoallStrategy::Pairwise,
+                                           AlltoallStrategy::Direct));
+
+TEST(ProbabilitiesInPlace, MatchesAllocatingVariant) {
+  const TermList terms = labs_terms(9);
+  const FurQaoaSimulator sim(terms, {});
+  const auto [g, b] = random_schedule(3, 2);
+  StateVector sv = sim.simulate_qaoa(g, b);
+  const auto probs = sv.probabilities();
+  sv.probabilities_in_place();
+  for (std::uint64_t x = 0; x < sv.size(); ++x) {
+    EXPECT_NEAR(sv[x].real(), probs[x], 1e-14);
+    EXPECT_DOUBLE_EQ(sv[x].imag(), 0.0);
+  }
+}
+
+TEST(SamplerVsProbabilities, TotalVariationShrinksWithShots) {
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 3));
+  const FurQaoaSimulator sim(terms, {});
+  const auto [g, b] = random_schedule(5, 2);
+  const StateVector sv = sim.simulate_qaoa(g, b);
+  const auto probs = sv.probabilities();
+
+  Rng rng(17);
+  const int shots = 60000;
+  const auto counts = StateSampler(sv).sample_counts(shots, rng);
+  double tv = 0.0;
+  for (std::uint64_t x = 0; x < sv.size(); ++x) {
+    const auto it = counts.find(x);
+    const double freq =
+        it == counts.end() ? 0.0 : static_cast<double>(it->second) / shots;
+    tv += std::abs(freq - probs[x]);
+  }
+  tv /= 2.0;
+  EXPECT_LT(tv, 0.02);  // 64 outcomes, 60k shots: TV ~ sqrt(64/shots)/2
+}
+
+TEST(XySectorInvariance, RandomSchedulesNeverLeakProbability) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const PortfolioInstance inst = random_portfolio(7, 3, 0.5, seed);
+    const FurQaoaSimulator sim(portfolio_terms(inst),
+                               {.mixer = seed % 2 ? MixerType::XYRing
+                                                  : MixerType::XYComplete,
+                                .initial_weight = 3});
+    const auto [g, b] = random_schedule(seed, 3);
+    const StateVector r = sim.simulate_qaoa(g, b);
+    EXPECT_NEAR(r.weight_sector_mass(3), 1.0, 1e-10) << seed;
+    EXPECT_NEAR(r.norm_squared(), 1.0, 1e-10) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qokit

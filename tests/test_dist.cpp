@@ -1,0 +1,181 @@
+#include "dist/dist_fur.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "fur/mixers.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(VirtualRankWorld, RunsEveryRankExactlyOnce) {
+  VirtualRankWorld world(8, AlltoallStrategy::Pairwise);
+  std::vector<std::atomic<int>> hits(8);
+  world.run([&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 8);
+    hits[comm.rank()]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(VirtualRankWorld, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(VirtualRankWorld(3, AlltoallStrategy::Staged),
+               std::invalid_argument);
+  EXPECT_THROW(VirtualRankWorld(0, AlltoallStrategy::Staged),
+               std::invalid_argument);
+}
+
+TEST(VirtualRankWorld, PropagatesExceptions) {
+  VirtualRankWorld world(1, AlltoallStrategy::Staged);
+  EXPECT_THROW(
+      world.run([](Communicator&) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(VirtualRankWorld, AllreduceSumsAcrossRanks) {
+  VirtualRankWorld world(4, AlltoallStrategy::Pairwise);
+  world.run([&](Communicator& comm) {
+    const double total = comm.allreduce_sum(comm.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(total, 1.0 + 2.0 + 3.0 + 4.0);
+    // Reusable immediately afterwards.
+    const double again = comm.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(again, 4.0);
+  });
+}
+
+class AlltoallTest : public ::testing::TestWithParam<
+                         std::tuple<int, int, AlltoallStrategy>> {};
+
+TEST_P(AlltoallTest, RealizesBlockTranspose) {
+  const auto [k, block, strategy] = GetParam();
+  VirtualRankWorld world(k, strategy);
+  // Rank r block b element e tagged r*10000 + b*100 + e; after alltoall
+  // rank r's block b must hold what rank b sent in block r.
+  std::vector<std::vector<cdouble>> bufs(k);
+  world.run([&](Communicator& comm) {
+    auto& mine = bufs[comm.rank()];
+    mine.resize(static_cast<std::size_t>(k) * block);
+    for (int b = 0; b < k; ++b)
+      for (int e = 0; e < block; ++e)
+        mine[b * block + e] =
+            cdouble(comm.rank() * 10000.0 + b * 100.0 + e, 0.0);
+    comm.alltoall(mine.data(), block);
+  });
+  for (int r = 0; r < k; ++r)
+    for (int b = 0; b < k; ++b)
+      for (int e = 0; e < block; ++e)
+        EXPECT_EQ(bufs[r][b * block + e].real(), b * 10000.0 + r * 100.0 + e)
+            << "rank " << r << " block " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlltoallTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 3, 16),
+                       ::testing::Values(AlltoallStrategy::Staged,
+                                         AlltoallStrategy::Pairwise,
+                                         AlltoallStrategy::Direct)));
+
+class DistMixerTest : public ::testing::TestWithParam<
+                          std::tuple<int, AlltoallStrategy>> {};
+
+TEST_P(DistMixerTest, DistributedMixerEqualsSingleNode) {
+  const auto [k, strategy] = GetParam();
+  const int n = 8;
+  const double beta = 0.67;
+  Rng rng(7);
+  StateVector expected(n);
+  for (std::uint64_t x = 0; x < expected.size(); ++x)
+    expected[x] = cdouble(rng.normal(), rng.normal());
+  expected.normalize();
+  StateVector distributed = expected;
+
+  apply_mixer_x(expected, beta, Exec::Serial);
+
+  VirtualRankWorld world(k, strategy);
+  const std::uint64_t chunk = distributed.size() / k;
+  cdouble* data = distributed.data();
+  world.run([&](Communicator& comm) {
+    dist::apply_mixer_x(comm, data + comm.rank() * chunk, chunk, n, beta);
+  });
+  EXPECT_LT(distributed.max_abs_diff(expected), 1e-12)
+      << "K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndStrategies, DistMixerTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(AlltoallStrategy::Staged,
+                                         AlltoallStrategy::Pairwise,
+                                         AlltoallStrategy::Direct)));
+
+class DistSimulatorTest : public ::testing::TestWithParam<
+                              std::tuple<int, AlltoallStrategy>> {};
+
+TEST_P(DistSimulatorTest, MatchesSingleNodeSimulator) {
+  const auto [k, strategy] = GetParam();
+  const TermList terms = labs_terms(9);
+  const std::vector<double> gs{0.3, -0.2}, bs{0.8, 0.4};
+
+  const FurQaoaSimulator single(terms, {.exec = Exec::Serial});
+  const DistributedFurSimulator multi(terms, {.ranks = k, .strategy = strategy});
+  const StateVector a = single.simulate_qaoa(gs, bs);
+  const StateVector b = multi.simulate_qaoa(gs, bs);
+  EXPECT_LT(a.max_abs_diff(b), 1e-11);
+  EXPECT_NEAR(single.get_expectation(a), multi.get_expectation(b), 1e-9);
+}
+
+TEST_P(DistSimulatorTest, NoGatherExpectationAgrees) {
+  const auto [k, strategy] = GetParam();
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 3));
+  const std::vector<double> gs{0.5}, bs{0.9};
+  const DistributedFurSimulator sim(terms, {.ranks = k, .strategy = strategy});
+  const double direct = sim.simulate_and_expectation(gs, bs);
+  const double via_gather = sim.get_expectation(sim.simulate_qaoa(gs, bs));
+  EXPECT_NEAR(direct, via_gather, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndStrategies, DistSimulatorTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(AlltoallStrategy::Staged,
+                                         AlltoallStrategy::Pairwise,
+                                         AlltoallStrategy::Direct)));
+
+TEST(DistSimulator, PrecomputedDiagonalMatchesSingleNode) {
+  const TermList terms = labs_terms(8);
+  const DistributedFurSimulator sim(terms, {.ranks = 4});
+  const CostDiagonal ref = CostDiagonal::precompute(terms);
+  for (std::uint64_t x = 0; x < ref.size(); ++x)
+    EXPECT_NEAR(sim.get_cost_diagonal()[x], ref[x], 1e-12);
+}
+
+TEST(DistSimulator, RejectsTooManyRanks) {
+  // 2 * log2(K) <= n: K = 16 needs n >= 8.
+  EXPECT_THROW(
+      DistributedFurSimulator(labs_terms(7), {.ranks = 16}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(DistributedFurSimulator(labs_terms(8), {.ranks = 16}));
+}
+
+TEST(DistSimulator, RejectsNonPowerOfTwoRanks) {
+  EXPECT_THROW(DistributedFurSimulator(labs_terms(8), {.ranks = 5}),
+               std::invalid_argument);
+}
+
+TEST(DistSimulator, OverlapMatchesSingleNode) {
+  const TermList terms = labs_terms(8);
+  const std::vector<double> gs{0.4}, bs{0.6};
+  const FurQaoaSimulator single(terms, {});
+  const DistributedFurSimulator multi(terms, {.ranks = 4});
+  EXPECT_NEAR(single.get_overlap(single.simulate_qaoa(gs, bs)),
+              multi.get_overlap(multi.simulate_qaoa(gs, bs)), 1e-10);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,145 @@
+#include "gatesim/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gatesim/compile.hpp"
+#include "gatesim/execute.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+
+namespace qokit {
+namespace {
+
+StateVector random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector sv(n);
+  for (std::uint64_t x = 0; x < sv.size(); ++x)
+    sv[x] = cdouble(rng.normal(), rng.normal());
+  sv.normalize();
+  return sv;
+}
+
+/// Random circuit mixing every fusable gate kind.
+Circuit random_circuit(int n, int num_gates, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (int i = 0; i < num_gates; ++i) {
+    const int q = static_cast<int>(rng.uniform_int(n));
+    int q2 = static_cast<int>(rng.uniform_int(n));
+    if (q2 == q) q2 = (q + 1) % n;
+    switch (rng.uniform_int(5)) {
+      case 0:
+        c.append(Gate::h(q));
+        break;
+      case 1:
+        c.append(Gate::rx(q, rng.uniform(-1.5, 1.5)));
+        break;
+      case 2:
+        c.append(Gate::rz(q, rng.uniform(-1.5, 1.5)));
+        break;
+      case 3:
+        c.append(Gate::cx(q, q2));
+        break;
+      default:
+        c.append(Gate::xy(q, q2, rng.uniform(-1.5, 1.5)));
+        break;
+    }
+  }
+  return c;
+}
+
+class FusionEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionEquivalenceTest, FusedCircuitRealizesSameUnitary) {
+  const int seed = GetParam();
+  const int n = 5;
+  const Circuit c = random_circuit(n, 40, seed);
+  const Circuit fused = fuse_gates(c);
+  StateVector a = random_state(n, seed + 1000);
+  StateVector b = a;
+  run_circuit(a, c, Exec::Serial);
+  run_circuit(b, fused, Exec::Serial);
+  EXPECT_LT(a.max_abs_diff(b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionEquivalenceTest,
+                         ::testing::Range(1, 11));
+
+TEST(Fusion, ReducesGateCount) {
+  const Circuit c = random_circuit(6, 60, 3);
+  const Circuit fused = fuse_gates(c);
+  EXPECT_LT(fused.size(), c.size());
+}
+
+TEST(Fusion, SingleQubitRunCollapsesToOneGate) {
+  Circuit c(3);
+  c.append(Gate::h(1));
+  c.append(Gate::rx(1, 0.3));
+  c.append(Gate::rz(1, 0.7));
+  c.append(Gate::h(1));
+  const Circuit fused = fuse_gates(c);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused.gates()[0].kind, GateKind::U1);
+  EXPECT_EQ(fused.gates()[0].q0, 1);
+
+  StateVector a = random_state(3, 5);
+  StateVector b = a;
+  run_circuit(a, c, Exec::Serial);
+  run_circuit(b, fused, Exec::Serial);
+  EXPECT_LT(a.max_abs_diff(b), 1e-12);
+}
+
+TEST(Fusion, TwoQubitBlockCollapses) {
+  Circuit c(4);
+  c.append(Gate::h(0));
+  c.append(Gate::cx(0, 1));
+  c.append(Gate::rz(1, 0.4));
+  c.append(Gate::cx(0, 1));
+  const Circuit fused = fuse_gates(c);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused.gates()[0].kind, GateKind::U2);
+}
+
+TEST(Fusion, MultiQubitDiagonalPassesThrough) {
+  Circuit c(5);
+  c.append(Gate::rx(0, 0.3));
+  c.append(Gate::zphase(0b10111, 0.9));  // 4-qubit diagonal: unfusable
+  c.append(Gate::rx(0, 0.3));
+  const Circuit fused = fuse_gates(c);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused.gates()[1].kind, GateKind::ZPhase);
+}
+
+TEST(Fusion, QaoaMaxCutCircuitEquivalence) {
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 2));
+  const std::vector<double> gs{0.3, 0.5}, bs{0.8, 0.2};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs);
+  const Circuit fused = fuse_gates(c);
+  EXPECT_LT(fused.size(), c.size());
+  StateVector a = StateVector::basis_state(6, 0);
+  StateVector b = StateVector::basis_state(6, 0);
+  run_circuit(a, c, Exec::Serial);
+  run_circuit(b, fused, Exec::Serial);
+  EXPECT_LT(a.max_abs_diff(b), 1e-10);
+}
+
+TEST(Fusion, LabsQuarticLaddersLimitFusionRatio) {
+  // The paper's Sec. VI point: 4-order terms block F=2 fusion from reaching
+  // the ~4n fused-gate floor possible for 2-local circuits.
+  const TermList terms = labs_terms(10);
+  const std::vector<double> gs{0.3}, bs{0.8};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs);
+  const Circuit fused = fuse_gates(c);
+  EXPECT_LT(fused.size(), c.size());
+  // Far more than 4n gates must survive.
+  EXPECT_GT(fused.size(), 4u * 10u);
+}
+
+TEST(Fusion, EmptyCircuit) {
+  const Circuit fused = fuse_gates(Circuit(3));
+  EXPECT_EQ(fused.size(), 0u);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,86 @@
+#include "fur/fwht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "fur/mixers.hpp"
+
+namespace qokit {
+namespace {
+
+StateVector random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector sv(n);
+  for (std::uint64_t x = 0; x < sv.size(); ++x)
+    sv[x] = cdouble(rng.normal(), rng.normal());
+  sv.normalize();
+  return sv;
+}
+
+TEST(Fwht, TransformOfBasisStateIsWalshFunction) {
+  // FWHT|x>[y] = (-1)^{x . y} / sqrt(N).
+  const int n = 6;
+  for (std::uint64_t x : {0ull, 5ull, 63ull, 33ull}) {
+    StateVector sv = StateVector::basis_state(n, x);
+    fwht(sv);
+    const double amp = 1.0 / std::sqrt(64.0);
+    for (std::uint64_t y = 0; y < 64; ++y) {
+      const double expect = parity(x & y) ? -amp : amp;
+      EXPECT_NEAR(sv[y].real(), expect, 1e-12);
+      EXPECT_NEAR(sv[y].imag(), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Fwht, SelfInverse) {
+  StateVector sv = random_state(9, 7);
+  const StateVector before = sv;
+  fwht(sv);
+  fwht(sv);
+  EXPECT_LT(sv.max_abs_diff(before), 1e-12);
+}
+
+TEST(Fwht, PlusStateIsTransformOfZero) {
+  StateVector sv = StateVector::basis_state(7, 0);
+  fwht(sv);
+  EXPECT_LT(sv.max_abs_diff(StateVector::plus_state(7)), 1e-13);
+}
+
+TEST(Fwht, PreservesNorm) {
+  StateVector sv = random_state(10, 3);
+  fwht(sv, Exec::Parallel);
+  EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-12);
+}
+
+class FwhtMixerTest : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(FwhtMixerTest, TwoTransformMixerEqualsSinglePassMixer) {
+  // The paper's closing comparison with Ref. [43]: FWHT -> diag -> FWHT
+  // must agree with Algorithms 1-2 to machine precision.
+  const auto [n, beta] = GetParam();
+  StateVector a = random_state(n, 11 + n);
+  StateVector b = a;
+  apply_mixer_x(a, beta, Exec::Serial, MixerBackend::Fused);
+  apply_mixer_x_fwht(b, beta, Exec::Serial);
+  EXPECT_LT(a.max_abs_diff(b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FwhtMixerTest,
+    ::testing::Combine(::testing::Values(2, 5, 8, 11),
+                       ::testing::Values(0.0, 0.3, 1.0, -2.2, 3.14159)));
+
+TEST(FwhtMixer, ParallelMatchesSerial) {
+  StateVector a = random_state(12, 4);
+  StateVector b = a;
+  apply_mixer_x_fwht(a, 0.42, Exec::Serial);
+  apply_mixer_x_fwht(b, 0.42, Exec::Parallel);
+  EXPECT_LT(a.max_abs_diff(b), 1e-12);
+}
+
+}  // namespace
+}  // namespace qokit

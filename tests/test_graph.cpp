@@ -1,0 +1,110 @@
+#include "problems/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qokit {
+namespace {
+
+TEST(Graph, CompleteGraphEdgeCount) {
+  const Graph g = Graph::complete(6);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular(5));
+}
+
+TEST(Graph, CompleteGraphWeight) {
+  const Graph g = Graph::complete(4, 0.3);
+  for (const Edge& e : g.edges()) EXPECT_DOUBLE_EQ(e.w, 0.3);
+}
+
+TEST(Graph, RingDegreesAndCount) {
+  const Graph g = Graph::ring(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_TRUE(g.is_regular(2));
+}
+
+TEST(Graph, RingRejectsTiny) {
+  EXPECT_THROW(Graph::ring(2), std::invalid_argument);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(3, {{1, 1, 1.0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph(3, {{0, 1, 1.0}, {1, 0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadEndpoint) {
+  EXPECT_THROW(Graph(3, {{0, 3, 1.0}}), std::invalid_argument);
+}
+
+TEST(Graph, NormalizesEdgeOrientation) {
+  const Graph g(3, {{2, 0, 1.0}});
+  EXPECT_EQ(g.edges()[0].u, 0);
+  EXPECT_EQ(g.edges()[0].v, 2);
+}
+
+class RandomRegularTest : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(RandomRegularTest, IsSimpleAndRegular) {
+  const auto [n, d] = GetParam();
+  const Graph g = Graph::random_regular(n, d, 1234);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(n) * d / 2);
+  EXPECT_TRUE(g.is_regular(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomRegularTest,
+    ::testing::Values(std::pair{6, 3}, std::pair{10, 3}, std::pair{12, 4},
+                      std::pair{16, 3}, std::pair{20, 5}, std::pair{9, 2}));
+
+TEST(RandomRegular, DeterministicPerSeed) {
+  const Graph a = Graph::random_regular(12, 3, 77);
+  const Graph b = Graph::random_regular(12, 3, 77);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(RandomRegular, DifferentSeedsUsuallyDiffer) {
+  const Graph a = Graph::random_regular(12, 3, 1);
+  const Graph b = Graph::random_regular(12, 3, 2);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(RandomRegular, RejectsOddProduct) {
+  EXPECT_THROW(Graph::random_regular(5, 3, 0), std::invalid_argument);
+  EXPECT_THROW(Graph::random_regular(4, 4, 0), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(Graph::erdos_renyi(8, 0.0, 5).num_edges(), 0u);
+  EXPECT_EQ(Graph::erdos_renyi(8, 1.0, 5).num_edges(), 28u);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const Graph g = Graph::erdos_renyi(40, 0.5, 31);
+  const double expected = 0.5 * 40 * 39 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 90.0);
+}
+
+TEST(Graph, CutValueManual) {
+  // Path 0-1-2 with weights 1 and 2.
+  const Graph g(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_DOUBLE_EQ(g.cut_value(0b000), 0.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b010), 3.0);  // vertex 1 alone: both edges cut
+  EXPECT_DOUBLE_EQ(g.cut_value(0b001), 1.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b100), 2.0);
+  EXPECT_DOUBLE_EQ(g.cut_value(0b111), 0.0);
+}
+
+TEST(Graph, DegreeCounts) {
+  const Graph g(4, {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}});
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_FALSE(g.is_regular(1));
+}
+
+}  // namespace
+}  // namespace qokit

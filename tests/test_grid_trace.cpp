@@ -1,0 +1,120 @@
+// Grid search, per-layer traces and the k-SAT one-liner.
+#include <gtest/gtest.h>
+
+#include "api/qokit.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(GridSearch, FindsKnownMinimumOfCoarseGrid) {
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 17));
+  const FurQaoaSimulator sim(terms, {});
+  const GridResult r =
+      grid_search_p1(sim, 9, 9, 0.0, 1.2, -1.2, 0.0);
+  // The reported value must match a direct evaluation at the minimizer.
+  const double g[1] = {r.gamma}, b[1] = {r.beta};
+  EXPECT_NEAR(sim.get_expectation(sim.simulate_qaoa(g, b)), r.value, 1e-10);
+  // And be at least as good as the corners.
+  for (double cg : {0.0, 1.2})
+    for (double cb : {-1.2, 0.0}) {
+      const double gg[1] = {cg}, bb[1] = {cb};
+      EXPECT_LE(r.value,
+                sim.get_expectation(sim.simulate_qaoa(gg, bb)) + 1e-10);
+    }
+}
+
+TEST(GridSearch, BeatsTheP1Ramp) {
+  const TermList terms = maxcut_terms(Graph::random_regular(10, 3, 23));
+  const FurQaoaSimulator sim(terms, {});
+  const QaoaParams ramp = linear_ramp(1, 0.8);
+  const double ramp_value =
+      sim.get_expectation(sim.simulate_qaoa(ramp.gammas, ramp.betas));
+  const GridResult r = grid_search_p1(sim, 17, 17, 0.0, 1.5, -1.5, 0.0);
+  EXPECT_LE(r.value, ramp_value + 1e-10);
+}
+
+TEST(GridSearch, SinglePointGridDegeneratesToEvaluation) {
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 5));
+  const FurQaoaSimulator sim(terms, {});
+  const GridResult r = grid_search_p1(sim, 1, 1, 0.3, 9.9, -0.7, 9.9);
+  EXPECT_DOUBLE_EQ(r.gamma, 0.3);
+  EXPECT_DOUBLE_EQ(r.beta, -0.7);
+}
+
+TEST(GridSearch, RejectsEmptyGrid) {
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 5));
+  const FurQaoaSimulator sim(terms, {});
+  EXPECT_THROW(grid_search_p1(sim, 0, 3, 0, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(Trace, LastEntryMatchesFullSimulation) {
+  const TermList terms = labs_terms(9);
+  const FurQaoaSimulator sim(terms, {});
+  const QaoaParams params = linear_ramp(4, 0.5);
+  const auto trace =
+      per_layer_expectations(sim, params.gammas, params.betas);
+  ASSERT_EQ(trace.size(), 4u);
+  const StateVector full = sim.simulate_qaoa(params.gammas, params.betas);
+  EXPECT_NEAR(trace.back(), sim.get_expectation(full), 1e-9);
+}
+
+TEST(Trace, PrefixEntriesMatchTruncatedSchedules) {
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 29));
+  const FurQaoaSimulator sim(terms, {});
+  const QaoaParams params = linear_ramp(3, 0.7);
+  const auto trace = per_layer_expectations(sim, params.gammas, params.betas);
+  for (std::size_t l = 0; l < 3; ++l) {
+    const std::span<const double> g(params.gammas.data(), l + 1);
+    const std::span<const double> b(params.betas.data(), l + 1);
+    EXPECT_NEAR(trace[l], sim.get_expectation(sim.simulate_qaoa(g, b)), 1e-9)
+        << "l=" << l;
+  }
+}
+
+TEST(Trace, EmptyScheduleGivesEmptyTrace) {
+  const FurQaoaSimulator sim(labs_terms(6), {});
+  EXPECT_TRUE(per_layer_expectations(sim, {}, {}).empty());
+}
+
+TEST(SatApi, EvaluationFieldsConsistent) {
+  const SatInstance inst = random_ksat(10, 3, 20, 3);
+  const QaoaParams params = linear_ramp(2, 0.6);
+  const api::SatEvaluation eval =
+      api::qaoa_sat_evaluate(inst, params.gammas, params.betas);
+  EXPECT_GE(eval.expected_violations, -1e-9);
+  EXPECT_GE(eval.p_satisfied, 0.0);
+  EXPECT_LE(eval.p_satisfied, 1.0 + 1e-12);
+  EXPECT_EQ(eval.satisfiable, inst.satisfiable_brute_force());
+}
+
+TEST(SatApi, UnsatisfiableInstanceHasZeroSuccess) {
+  SatInstance inst;
+  inst.num_vars = 2;
+  inst.clauses.push_back({{0}, {false}});
+  inst.clauses.push_back({{0}, {true}});
+  const QaoaParams params = linear_ramp(1, 0.5);
+  const api::SatEvaluation eval =
+      api::qaoa_sat_evaluate(inst, params.gammas, params.betas);
+  EXPECT_FALSE(eval.satisfiable);
+  EXPECT_NEAR(eval.p_satisfied, 0.0, 1e-12);
+  EXPECT_GE(eval.expected_violations, 1.0 - 1e-9);
+}
+
+TEST(SatApi, DeeperQaoaRaisesSuccessOnEasyInstance) {
+  // Under-constrained 3-SAT: many satisfying strings; even short ramps
+  // should push success probability above the uniform baseline.
+  const SatInstance inst = random_ksat(10, 3, 11, 7);
+  const CostDiagonal d = CostDiagonal::precompute(sat_terms(inst));
+  std::uint64_t sat_count = 0;
+  for (std::uint64_t x = 0; x < d.size(); ++x)
+    if (d[x] < 0.5) ++sat_count;
+  const double uniform = static_cast<double>(sat_count) / d.size();
+
+  const QaoaParams params = linear_ramp(4, 0.7);
+  const api::SatEvaluation eval =
+      api::qaoa_sat_evaluate(inst, params.gammas, params.betas);
+  EXPECT_GT(eval.p_satisfied, uniform);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,83 @@
+// Shipped LABS schedules: shape and cross-size transfer.
+#include <gtest/gtest.h>
+
+#include "fur/simulator.hpp"
+#include "optimize/labs_params.hpp"
+#include "problems/labs.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(LabsParams, TableShapesAreConsistent) {
+  for (int p = 1; p <= labs_transferred_max_p(); ++p) {
+    const QaoaParams params = labs_transferred_params(p);
+    EXPECT_EQ(params.p(), p);
+    EXPECT_EQ(params.gammas.size(), static_cast<std::size_t>(p));
+    EXPECT_EQ(params.betas.size(), static_cast<std::size_t>(p));
+  }
+}
+
+TEST(LabsParams, RejectsOutOfTableDepths) {
+  EXPECT_THROW(labs_transferred_params(0), std::invalid_argument);
+  EXPECT_THROW(labs_transferred_params(labs_transferred_max_p() + 1),
+               std::invalid_argument);
+}
+
+class LabsTransferTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LabsTransferTest, BeatsUniformEnergyAtTunedSize) {
+  // At the tuning size every shipped schedule must beat <+|C|+> = offset.
+  const int p = GetParam();
+  const TermList terms = labs_terms(12);
+  const FurQaoaSimulator sim(terms, {});
+  const QaoaParams params = labs_transferred_params(p);
+  const double e =
+      sim.get_expectation(sim.simulate_qaoa(params.gammas, params.betas));
+  EXPECT_LT(e, terms.offset() - 1.0) << "p=" << p;
+}
+
+TEST_P(LabsTransferTest, TransfersToNearbySizes) {
+  // The same angles must still beat uniform at n = 10 and n = 14 -- the
+  // transfer property the paper's Ref. [6] exploits at scale.
+  const int p = GetParam();
+  const QaoaParams params = labs_transferred_params(p);
+  for (int n : {10, 14}) {
+    const TermList terms = labs_terms(n);
+    const FurQaoaSimulator sim(terms, {});
+    const double e =
+        sim.get_expectation(sim.simulate_qaoa(params.gammas, params.betas));
+    EXPECT_LT(e, terms.offset()) << "p=" << p << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LabsTransferTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LabsParams, EnergyImprovesMonotonicallyWithDepth) {
+  const TermList terms = labs_terms(12);
+  const FurQaoaSimulator sim(terms, {});
+  double prev = terms.offset();
+  for (int p = 1; p <= labs_transferred_max_p(); ++p) {
+    const QaoaParams params = labs_transferred_params(p);
+    const double e =
+        sim.get_expectation(sim.simulate_qaoa(params.gammas, params.betas));
+    EXPECT_LT(e, prev) << "p=" << p;
+    prev = e;
+  }
+}
+
+TEST(LabsParams, DeepScheduleAmplifiesGroundState) {
+  // The p = 5 shipped schedule must concentrate well above uniform on the
+  // optimal sequences at the tuned size.
+  const TermList terms = labs_terms(12);
+  const FurQaoaSimulator sim(terms, {});
+  const QaoaParams params = labs_transferred_params(5);
+  const StateVector r = sim.simulate_qaoa(params.gammas, params.betas);
+  const CostDiagonal& d = sim.get_cost_diagonal();
+  const double uniform =
+      static_cast<double>(d.ground_state_count()) / d.size();
+  EXPECT_GT(sim.get_overlap(r), 2.0 * uniform);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,70 @@
+#include "problems/maxcut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(MaxCut, SpectrumEqualsMinusCut) {
+  const Graph g = Graph::random_regular(10, 3, 42);
+  const TermList t = maxcut_terms(g);
+  for (std::uint64_t x = 0; x < dim_of(10); x += 7)
+    EXPECT_NEAR(t.evaluate(x), -g.cut_value(x), 1e-12) << "x=" << x;
+}
+
+TEST(MaxCut, SpectrumEqualsMinusCutWeighted) {
+  const Graph g(4, {{0, 1, 0.5}, {1, 2, -1.5}, {2, 3, 2.0}, {0, 3, 0.25}});
+  const TermList t = maxcut_terms(g);
+  for (std::uint64_t x = 0; x < 16; ++x)
+    EXPECT_NEAR(t.evaluate(x), -g.cut_value(x), 1e-12);
+}
+
+TEST(MaxCut, NoOffsetVariantShiftsByHalfTotalWeight) {
+  const Graph g = Graph::complete(5);
+  const TermList with = maxcut_terms(g);
+  const TermList without = maxcut_terms_no_offset(g);
+  const double shift = 5.0 * 4 / 2 / 2.0;  // |E|/2 = 5
+  for (std::uint64_t x = 0; x < 32; ++x)
+    EXPECT_NEAR(without.evaluate(x) - with.evaluate(x), shift, 1e-12);
+}
+
+TEST(MaxCut, TermCount) {
+  const Graph g = Graph::complete(6);
+  EXPECT_EQ(maxcut_terms(g).size(), g.num_edges() + 1);   // + offset
+  EXPECT_EQ(maxcut_terms_no_offset(g).size(), g.num_edges());
+}
+
+TEST(MaxCut, BruteForceTriangle) {
+  // Odd cycle: best cut = 2 of 3 edges.
+  EXPECT_DOUBLE_EQ(maxcut_brute_force(Graph::ring(3)), 2.0);
+}
+
+TEST(MaxCut, BruteForceEvenRingCutsAllEdges) {
+  EXPECT_DOUBLE_EQ(maxcut_brute_force(Graph::ring(8)), 8.0);
+}
+
+TEST(MaxCut, BruteForceCompleteGraph) {
+  // K_n best cut = floor(n/2) * ceil(n/2).
+  EXPECT_DOUBLE_EQ(maxcut_brute_force(Graph::complete(6)), 9.0);
+  EXPECT_DOUBLE_EQ(maxcut_brute_force(Graph::complete(7)), 12.0);
+}
+
+TEST(MaxCut, MinOfTermsEqualsMinusBruteForce) {
+  const Graph g = Graph::random_regular(12, 3, 7);
+  const TermList t = maxcut_terms(g);
+  double lo = 1e300;
+  for (std::uint64_t x = 0; x < dim_of(12); ++x)
+    lo = std::min(lo, t.evaluate(x));
+  EXPECT_NEAR(lo, -maxcut_brute_force(g), 1e-12);
+}
+
+TEST(MaxCut, AllTermsAreQuadraticPlusOffset) {
+  const Graph g = Graph::random_regular(8, 3, 3);
+  for (const Term& t : maxcut_terms(g))
+    EXPECT_TRUE(t.order() == 2 || t.mask == 0);
+}
+
+}  // namespace
+}  // namespace qokit

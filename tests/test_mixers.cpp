@@ -1,0 +1,150 @@
+#include "fur/mixers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "support/reference.hpp"
+
+namespace qokit {
+namespace {
+
+using testing::max_diff;
+using testing::to_vec;
+
+StateVector random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector sv(n);
+  for (std::uint64_t x = 0; x < sv.size(); ++x)
+    sv[x] = cdouble(rng.normal(), rng.normal());
+  sv.normalize();
+  return sv;
+}
+
+class MixerXTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixerXTest, MatchesDenseReference) {
+  const int n = GetParam();
+  const double beta = 0.37;
+  StateVector sv = random_state(n, n);
+  const auto before = to_vec(sv);
+  apply_mixer_x(sv, beta, Exec::Serial);
+  EXPECT_LT(max_diff(to_vec(sv),
+                     testing::ref_apply_mixer_x(before, n, beta)),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MixerXTest, ::testing::Values(1, 2, 4, 6, 8));
+
+TEST(MixerX, ZeroAngleIsIdentity) {
+  StateVector sv = random_state(6, 5);
+  const StateVector before = sv;
+  apply_mixer_x(sv, 0.0);
+  EXPECT_LT(sv.max_abs_diff(before), 1e-15);
+}
+
+TEST(MixerX, PreservesNorm) {
+  StateVector sv = random_state(12, 9);
+  apply_mixer_x(sv, 1.7, Exec::Parallel);
+  EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(MixerX, PlusStateIsFixedPointUpToPhase) {
+  // |+>^n is the maximal eigenvector of sum X_i: mixer only adds a phase.
+  const int n = 6;
+  StateVector sv = StateVector::plus_state(n);
+  apply_mixer_x(sv, 0.9);
+  const auto p = sv.probabilities();
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 64.0, 1e-12);
+}
+
+class MixerXyRingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixerXyRingTest, MatchesDenseReference) {
+  const int n = GetParam();
+  const double beta = 0.61;
+  StateVector sv = random_state(n, 100 + n);
+  const auto before = to_vec(sv);
+  apply_mixer_xy_ring(sv, beta, Exec::Serial);
+  EXPECT_LT(max_diff(to_vec(sv),
+                     testing::ref_apply_mixer_xy_ring(before, n, beta)),
+            1e-12);
+}
+
+TEST_P(MixerXyRingTest, PreservesEveryHammingSector) {
+  const int n = GetParam();
+  StateVector sv = random_state(n, 200 + n);
+  std::vector<double> before(n + 1);
+  for (int k = 0; k <= n; ++k) before[k] = sv.weight_sector_mass(k);
+  apply_mixer_xy_ring(sv, 0.83, Exec::Parallel);
+  for (int k = 0; k <= n; ++k)
+    EXPECT_NEAR(sv.weight_sector_mass(k), before[k], 1e-12) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MixerXyRingTest, ::testing::Values(3, 4, 5, 7));
+
+class MixerXyCompleteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixerXyCompleteTest, MatchesDenseReference) {
+  const int n = GetParam();
+  const double beta = 0.29;
+  StateVector sv = random_state(n, 300 + n);
+  const auto before = to_vec(sv);
+  apply_mixer_xy_complete(sv, beta, Exec::Serial);
+  EXPECT_LT(max_diff(to_vec(sv),
+                     testing::ref_apply_mixer_xy_complete(before, n, beta)),
+            1e-12);
+}
+
+TEST_P(MixerXyCompleteTest, PreservesEveryHammingSector) {
+  const int n = GetParam();
+  StateVector sv = random_state(n, 400 + n);
+  std::vector<double> before(n + 1);
+  for (int k = 0; k <= n; ++k) before[k] = sv.weight_sector_mass(k);
+  apply_mixer_xy_complete(sv, 1.21, Exec::Parallel);
+  for (int k = 0; k <= n; ++k)
+    EXPECT_NEAR(sv.weight_sector_mass(k), before[k], 1e-12) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MixerXyCompleteTest,
+                         ::testing::Values(2, 3, 5, 6));
+
+TEST(MixerXy, DickeStateIsFixedPointOfCompleteMixerMass) {
+  // The Dicke state is symmetric; the complete-graph XY mixer keeps the
+  // distribution uniform over the sector.
+  StateVector sv = StateVector::dicke_state(6, 3);
+  apply_mixer_xy_complete(sv, 0.44);
+  for (std::uint64_t x = 0; x < sv.size(); ++x) {
+    if (popcount(x) != 3) {
+      EXPECT_NEAR(std::norm(sv[x]), 0.0, 1e-14);
+    }
+  }
+  EXPECT_NEAR(sv.weight_sector_mass(3), 1.0, 1e-12);
+}
+
+TEST(MixerDispatch, RoutesAllTypes) {
+  StateVector a = random_state(5, 1);
+  StateVector b = a;
+  apply_mixer(a, MixerType::X, 0.3);
+  apply_mixer_x(b, 0.3);
+  EXPECT_LT(a.max_abs_diff(b), 1e-14);
+
+  StateVector c = random_state(5, 2);
+  StateVector d = c;
+  apply_mixer(c, MixerType::XYRing, 0.3);
+  apply_mixer_xy_ring(d, 0.3);
+  EXPECT_LT(c.max_abs_diff(d), 1e-14);
+
+  StateVector e = random_state(5, 3);
+  StateVector f = e;
+  apply_mixer(e, MixerType::XYComplete, 0.3);
+  apply_mixer_xy_complete(f, 0.3);
+  EXPECT_LT(e.max_abs_diff(f), 1e-14);
+}
+
+TEST(MixerXyRing, RejectsTinySystems) {
+  StateVector sv = StateVector::plus_state(2);
+  EXPECT_THROW(apply_mixer_xy_ring(sv, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qokit

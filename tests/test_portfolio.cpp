@@ -1,0 +1,94 @@
+#include "problems/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Portfolio, ValueManual) {
+  PortfolioInstance inst;
+  inst.n = 2;
+  inst.budget = 1;
+  inst.q = 1.0;
+  inst.mu = {0.5, 0.25};
+  inst.cov = {1.0, 0.2, 0.2, 2.0};
+  EXPECT_DOUBLE_EQ(inst.value(0b00), 0.0);
+  EXPECT_DOUBLE_EQ(inst.value(0b01), 1.0 - 0.5);
+  EXPECT_DOUBLE_EQ(inst.value(0b10), 2.0 - 0.25);
+  EXPECT_DOUBLE_EQ(inst.value(0b11), (1.0 + 0.2 + 0.2 + 2.0) - 0.75);
+}
+
+TEST(Portfolio, CovarianceIsSymmetric) {
+  const PortfolioInstance inst = random_portfolio(8, 3, 0.5, 21);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(inst.cov[i * 8 + j], inst.cov[j * 8 + i]);
+}
+
+TEST(Portfolio, CovarianceIsPositiveSemidefiniteOnAxes) {
+  const PortfolioInstance inst = random_portfolio(6, 2, 0.5, 4);
+  // x^T Cov x >= 0 for every binary selection (Cov = A A^T / n).
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    double risk = 0.0;
+    for (int i = 0; i < 6; ++i)
+      for (int j = 0; j < 6; ++j)
+        if (test_bit(x, i) && test_bit(x, j)) risk += inst.cov[i * 6 + j];
+    EXPECT_GE(risk, -1e-9);
+  }
+}
+
+class PortfolioTermsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PortfolioTermsTest, SpectrumMatchesObjective) {
+  const PortfolioInstance inst = random_portfolio(7, 3, 0.7, GetParam());
+  const TermList t = portfolio_terms(inst);
+  for (std::uint64_t x = 0; x < dim_of(7); ++x)
+    EXPECT_NEAR(t.evaluate(x), inst.value(x), 1e-9) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioTermsTest,
+                         ::testing::Values(1u, 2u, 3u, 99u));
+
+TEST(Portfolio, TermsAreAtMostQuadratic) {
+  const PortfolioInstance inst = random_portfolio(9, 4, 0.5, 8);
+  EXPECT_LE(portfolio_terms(inst).max_order(), 2);
+}
+
+TEST(Portfolio, BruteForceRespectsBudget) {
+  const PortfolioInstance inst = random_portfolio(10, 4, 0.5, 13);
+  std::uint64_t argmin = 0;
+  const double best = inst.brute_force_best(&argmin);
+  EXPECT_EQ(popcount(argmin), 4);
+  EXPECT_DOUBLE_EQ(inst.value(argmin), best);
+  // No weight-4 selection does better.
+  for (std::uint64_t x = 0; x < dim_of(10); ++x) {
+    if (popcount(x) == 4) {
+      EXPECT_GE(inst.value(x), best - 1e-12);
+    }
+  }
+}
+
+TEST(Portfolio, RejectsBadBudget) {
+  EXPECT_THROW(random_portfolio(5, 6, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(random_portfolio(5, -1, 0.5, 0), std::invalid_argument);
+}
+
+TEST(Portfolio, RiskAversionShiftsOptimum) {
+  // With q = 0 the best budget-k portfolio maximizes return only.
+  PortfolioInstance inst = random_portfolio(8, 3, 0.0, 5);
+  std::uint64_t argmin = 0;
+  inst.brute_force_best(&argmin);
+  // Greedy top-3 returns must coincide with the optimum at q = 0.
+  std::vector<int> idx(8);
+  for (int i = 0; i < 8; ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](int a, int b) { return inst.mu[a] > inst.mu[b]; });
+  std::uint64_t greedy = 0;
+  for (int i = 0; i < 3; ++i) greedy |= 1ull << idx[i];
+  EXPECT_EQ(argmin, greedy);
+}
+
+}  // namespace
+}  // namespace qokit

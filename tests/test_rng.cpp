@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qokit {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  // Rough uniformity: each bucket within 10% of expectation.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int trials = 200000;
+  double mean = 0.0, var = 0.0;
+  std::vector<double> xs(trials);
+  for (auto& x : xs) x = rng.normal();
+  for (double x : xs) mean += x;
+  mean /= trials;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= trials;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // astronomically
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,91 @@
+#include "statevector/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "fur/simulator.hpp"
+#include "problems/maxcut.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Sampler, BasisStateAlwaysSamplesItself) {
+  const StateVector sv = StateVector::basis_state(5, 19);
+  Rng rng(1);
+  for (std::uint64_t x : sample_states(sv, 100, rng)) EXPECT_EQ(x, 19u);
+}
+
+TEST(Sampler, RespectsZeroAmplitudes) {
+  StateVector sv(4);
+  sv[3] = cdouble(0.6, 0.0);
+  sv[12] = cdouble(0.0, 0.8);
+  Rng rng(2);
+  for (std::uint64_t x : sample_states(sv, 500, rng))
+    EXPECT_TRUE(x == 3 || x == 12);
+}
+
+TEST(Sampler, FrequenciesTrackProbabilities) {
+  StateVector sv(2);
+  sv[0] = cdouble(std::sqrt(0.7), 0.0);
+  sv[3] = cdouble(0.0, std::sqrt(0.3));
+  Rng rng(3);
+  const auto counts = StateSampler(sv).sample_counts(20000, rng);
+  EXPECT_NEAR(counts.at(0) / 20000.0, 0.7, 0.02);
+  EXPECT_NEAR(counts.at(3) / 20000.0, 0.3, 0.02);
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(Sampler, UniformStateCoversSpace) {
+  const StateVector sv = StateVector::plus_state(4);
+  Rng rng(4);
+  const auto counts = StateSampler(sv).sample_counts(16000, rng);
+  EXPECT_EQ(counts.size(), 16u);  // every outcome seen
+  for (const auto& [x, c] : counts) EXPECT_NEAR(c, 1000, 200) << x;
+}
+
+TEST(Sampler, DeterministicPerSeed) {
+  const StateVector sv = StateVector::plus_state(6);
+  Rng a(7), b(7);
+  EXPECT_EQ(sample_states(sv, 50, a), sample_states(sv, 50, b));
+}
+
+TEST(Sampler, UnnormalizedStatesHandled) {
+  StateVector sv(3);
+  sv[1] = cdouble(2.0, 0.0);  // norm 4
+  sv[6] = cdouble(2.0, 0.0);
+  Rng rng(8);
+  const auto counts = StateSampler(sv).sample_counts(4000, rng);
+  EXPECT_NEAR(counts.at(1), 2000, 200);
+  EXPECT_NEAR(counts.at(6), 2000, 200);
+}
+
+TEST(Sampler, ThrowsOnZeroState) {
+  StateVector sv(3);
+  EXPECT_THROW(StateSampler{sv}, std::invalid_argument);
+}
+
+TEST(Sampler, QaoaSamplesConcentrateOnGoodCuts) {
+  // After a few optimized-ish layers, sampled cuts must on average beat
+  // the random-assignment baseline |E|/2 -- the sampling-based estimator
+  // agreeing with the exact expectation.
+  const Graph g = Graph::random_regular(10, 3, 3);
+  const TermList terms = maxcut_terms(g);
+  const FurQaoaSimulator sim(terms, {});
+  const std::vector<double> gs{0.35, 0.6}, bs{-0.55, -0.3};
+  const StateVector result = sim.simulate_qaoa(gs, bs);
+
+  Rng rng(5);
+  const auto samples = sample_states(result, 3000, rng);
+  double mean_cut = 0.0;
+  for (std::uint64_t x : samples) mean_cut += g.cut_value(x);
+  mean_cut /= static_cast<double>(samples.size());
+
+  EXPECT_GT(mean_cut, g.num_edges() / 2.0);
+  // Sampling estimator within a few standard errors of the exact value.
+  EXPECT_NEAR(mean_cut, -sim.get_expectation(result), 0.35);
+}
+
+}  // namespace
+}  // namespace qokit

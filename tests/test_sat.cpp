@@ -1,0 +1,102 @@
+#include "problems/sat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Sat, ViolatedManual) {
+  // (x0 OR ~x1): violated iff x0 = 0 and x1 = 1.
+  SatInstance inst;
+  inst.num_vars = 2;
+  inst.clauses.push_back({{0, 1}, {false, true}});
+  EXPECT_EQ(inst.violated(0b00), 0);
+  EXPECT_EQ(inst.violated(0b01), 0);
+  EXPECT_EQ(inst.violated(0b10), 1);
+  EXPECT_EQ(inst.violated(0b11), 0);
+}
+
+TEST(Sat, RandomInstanceShape) {
+  const SatInstance inst = random_ksat(10, 3, 42, 7);
+  EXPECT_EQ(inst.num_vars, 10);
+  EXPECT_EQ(inst.clauses.size(), 42u);
+  for (const Clause& c : inst.clauses) {
+    EXPECT_EQ(c.vars.size(), 3u);
+    EXPECT_EQ(c.negated.size(), 3u);
+    // Variables within a clause are distinct.
+    EXPECT_NE(c.vars[0], c.vars[1]);
+    EXPECT_NE(c.vars[0], c.vars[2]);
+    EXPECT_NE(c.vars[1], c.vars[2]);
+    for (int v : c.vars) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(Sat, DeterministicPerSeed) {
+  const SatInstance a = random_ksat(8, 3, 20, 5);
+  const SatInstance b = random_ksat(8, 3, 20, 5);
+  for (std::uint64_t x = 0; x < 256; ++x)
+    EXPECT_EQ(a.violated(x), b.violated(x));
+}
+
+class SatTermsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatTermsTest, PolynomialCountsViolatedClauses) {
+  const int k = GetParam();
+  const SatInstance inst = random_ksat(9, k, 25, 11 + k);
+  const TermList t = sat_terms(inst);
+  for (std::uint64_t x = 0; x < dim_of(9); ++x)
+    EXPECT_NEAR(t.evaluate(x), inst.violated(x), 1e-9) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(ClauseWidths, SatTermsTest,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+TEST(Sat, TermsMaxOrderIsAtMostK) {
+  const SatInstance inst = random_ksat(12, 4, 30, 3);
+  EXPECT_LE(sat_terms(inst).max_order(), 4);
+}
+
+TEST(Sat, SatisfiableIffZeroMinimum) {
+  // Under-constrained instance: satisfiable with overwhelming probability.
+  const SatInstance easy = random_ksat(10, 3, 10, 1);
+  double lo = 1e300;
+  const TermList t = sat_terms(easy);
+  for (std::uint64_t x = 0; x < dim_of(10); ++x)
+    lo = std::min(lo, t.evaluate(x));
+  EXPECT_EQ(easy.satisfiable_brute_force(), lo < 0.5);
+}
+
+TEST(Sat, ContradictionIsAlwaysViolated) {
+  // (x0) and (~x0): one clause violated for every assignment.
+  SatInstance inst;
+  inst.num_vars = 1;
+  inst.clauses.push_back({{0}, {false}});
+  inst.clauses.push_back({{0}, {true}});
+  const TermList t = sat_terms(inst);
+  EXPECT_NEAR(t.evaluate(0), 1.0, 1e-12);
+  EXPECT_NEAR(t.evaluate(1), 1.0, 1e-12);
+  EXPECT_FALSE(inst.satisfiable_brute_force());
+}
+
+TEST(Sat, RejectsBadK) {
+  EXPECT_THROW(random_ksat(3, 4, 5, 0), std::invalid_argument);
+  EXPECT_THROW(random_ksat(3, 0, 5, 0), std::invalid_argument);
+}
+
+TEST(Sat, HighDensityEightSatHasExpectedClauseExpansion) {
+  // Each 8-literal clause expands into 2^8 = 256 signed terms; clauses over
+  // only 16 variables share many monomials, so the canonical count sits
+  // between one clause's worth and the raw m * 256.
+  const SatInstance inst = random_ksat(16, 8, 4, 9);
+  const TermList t = sat_terms(inst);
+  EXPECT_GT(t.size(), 512u);
+  EXPECT_LE(t.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace qokit

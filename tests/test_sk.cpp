@@ -1,0 +1,71 @@
+#include "problems/sk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "diagonal/cost_diagonal.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Sk, TermCountIsAllPairs) {
+  const TermList t = sk_terms(10, 1);
+  EXPECT_EQ(t.size(), 45u);
+  for (const Term& term : t) EXPECT_EQ(term.order(), 2);
+}
+
+TEST(Sk, CouplingsAreRademacherOverSqrtN) {
+  const int n = 12;
+  const TermList t = sk_terms(n, 5);
+  const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+  for (const Term& term : t)
+    EXPECT_NEAR(std::abs(term.weight), expected, 1e-12);
+}
+
+TEST(Sk, DeterministicPerSeed) {
+  const TermList a = sk_terms(9, 42);
+  const TermList b = sk_terms(9, 42);
+  for (std::uint64_t x = 0; x < 512; ++x)
+    EXPECT_DOUBLE_EQ(a.evaluate(x), b.evaluate(x));
+}
+
+TEST(Sk, SpectrumIsFlipSymmetric) {
+  const int n = 8;
+  const TermList t = sk_terms(n, 7);
+  const std::uint64_t mask = dim_of(n) - 1;
+  for (std::uint64_t x = 0; x < dim_of(n); ++x)
+    EXPECT_NEAR(t.evaluate(x), t.evaluate(~x & mask), 1e-12);
+}
+
+TEST(Sk, SpectrumMeanIsZero) {
+  // Every order-2 monomial averages to zero over the cube.
+  const CostDiagonal d = CostDiagonal::precompute(sk_terms(10, 9));
+  double mean = 0.0;
+  for (std::uint64_t x = 0; x < d.size(); ++x) mean += d[x];
+  EXPECT_NEAR(mean / d.size(), 0.0, 1e-12);
+}
+
+TEST(Sk, BruteForceFindsSpectrumMinimum) {
+  const TermList t = sk_terms(10, 11);
+  const CostDiagonal d = CostDiagonal::precompute(t);
+  EXPECT_NEAR(sk_brute_force(t), d.min_value(), 1e-12);
+}
+
+TEST(Sk, GroundEnergyScalesRoughlyLinearly) {
+  // The SK ground state sits near -0.76 * n for large n; at small n we
+  // only check it is clearly extensive and negative.
+  for (int n : {8, 12, 16}) {
+    const double e = sk_brute_force(sk_terms(n, 13));
+    EXPECT_LT(e, -0.4 * n) << "n=" << n;
+    EXPECT_GT(e, -1.2 * n) << "n=" << n;
+  }
+}
+
+TEST(Sk, RejectsTinyN) {
+  EXPECT_THROW(sk_terms(1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,114 @@
+#include "fur/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+#include "fur/simulator.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/portfolio.hpp"
+#include "problems/sk.hpp"
+
+namespace qokit {
+namespace {
+
+const std::vector<double> kGammas{0.21, -0.09, 0.4};
+const std::vector<double> kBetas{-0.8, -0.45, -0.2};
+
+TEST(FlipSymmetry, DetectsEvenOrderPolynomials) {
+  EXPECT_TRUE(is_flip_symmetric(labs_terms(8)));
+  EXPECT_TRUE(is_flip_symmetric(maxcut_terms(Graph::random_regular(8, 3, 1))));
+  EXPECT_TRUE(is_flip_symmetric(sk_terms(8, 2)));
+  // Portfolio has linear terms: not flip-symmetric.
+  EXPECT_FALSE(is_flip_symmetric(portfolio_terms(random_portfolio(6, 2, 0.5,
+                                                                  3))));
+}
+
+TEST(SymmetricSimulator, RejectsAsymmetricCost) {
+  const PortfolioInstance inst = random_portfolio(6, 2, 0.5, 3);
+  EXPECT_THROW(SymmetricFurSimulator(portfolio_terms(inst)),
+               std::invalid_argument);
+}
+
+class SymmetricVsFullTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetricVsFullTest, LabsExpectationAndOverlapMatchFullSimulator) {
+  const int n = GetParam();
+  const TermList terms = labs_terms(n);
+  const FurQaoaSimulator full(terms, {});
+  const SymmetricFurSimulator half(terms);
+
+  const StateVector full_state = full.simulate_qaoa(kGammas, kBetas);
+  const StateVector half_state = half.simulate_qaoa(kGammas, kBetas);
+
+  EXPECT_NEAR(half.get_expectation(half_state),
+              full.get_expectation(full_state), 1e-9);
+  EXPECT_NEAR(half.get_overlap(half_state), full.get_overlap(full_state),
+              1e-10);
+}
+
+TEST_P(SymmetricVsFullTest, ExpandedStateMatchesFullEvolution) {
+  const int n = GetParam();
+  const TermList terms = labs_terms(n);
+  const FurQaoaSimulator full(terms, {.exec = Exec::Serial});
+  const SymmetricFurSimulator half(terms, Exec::Serial);
+  const StateVector expanded =
+      half.expand(half.simulate_qaoa(kGammas, kBetas));
+  const StateVector reference = full.simulate_qaoa(kGammas, kBetas);
+  EXPECT_LT(expanded.max_abs_diff(reference), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymmetricVsFullTest,
+                         ::testing::Values(4, 6, 8, 10, 11));
+
+TEST(SymmetricSimulator, MaxCutAgreesWithFull) {
+  const TermList terms = maxcut_terms(Graph::random_regular(10, 3, 13));
+  const FurQaoaSimulator full(terms, {});
+  const SymmetricFurSimulator half(terms);
+  EXPECT_NEAR(half.get_expectation(half.simulate_qaoa(kGammas, kBetas)),
+              full.get_expectation(full.simulate_qaoa(kGammas, kBetas)),
+              1e-9);
+}
+
+TEST(SymmetricSimulator, SkModelAgreesWithFull) {
+  const TermList terms = sk_terms(9, 5);
+  const FurQaoaSimulator full(terms, {});
+  const SymmetricFurSimulator half(terms);
+  EXPECT_NEAR(half.get_expectation(half.simulate_qaoa(kGammas, kBetas)),
+              full.get_expectation(full.simulate_qaoa(kGammas, kBetas)),
+              1e-9);
+}
+
+TEST(SymmetricSimulator, HalfVectorNormIsHalf) {
+  const SymmetricFurSimulator half(labs_terms(9));
+  const StateVector h = half.simulate_qaoa(kGammas, kBetas);
+  EXPECT_EQ(h.size(), dim_of(8));
+  EXPECT_NEAR(h.norm_squared(), 0.5, 1e-10);
+}
+
+TEST(SymmetricSimulator, HalfDiagonalMatchesRepresentatives) {
+  const TermList terms = labs_terms(8);
+  const SymmetricFurSimulator half(terms);
+  const CostDiagonal& hd = half.half_diagonal();
+  ASSERT_EQ(hd.size(), dim_of(7));
+  for (std::uint64_t x = 0; x < hd.size(); ++x)
+    EXPECT_NEAR(hd[x], terms.evaluate(x), 1e-9);
+}
+
+TEST(SymmetricSimulator, HalvesDiagonalMemory) {
+  const TermList terms = labs_terms(10);
+  const FurQaoaSimulator full(terms, {});
+  const SymmetricFurSimulator half(terms);
+  EXPECT_EQ(2 * half.half_diagonal().memory_bytes(),
+            full.get_cost_diagonal().memory_bytes());
+}
+
+TEST(SymmetricSimulator, ZeroLayersGivesUniformEnergy) {
+  const TermList terms = labs_terms(8);
+  const SymmetricFurSimulator half(terms);
+  const StateVector h = half.simulate_qaoa({}, {});
+  EXPECT_NEAR(half.get_expectation(h), terms.offset(), 1e-9);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -1,0 +1,135 @@
+#include "terms/term.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Term, OrderAndEvaluate) {
+  const Term t{2.5, 0b101};
+  EXPECT_EQ(t.order(), 2);
+  // s0 * s2 on x = 0b001: s0 = -1, s2 = +1 -> -2.5.
+  EXPECT_DOUBLE_EQ(t.evaluate(0b001), -2.5);
+  EXPECT_DOUBLE_EQ(t.evaluate(0b101), 2.5);
+  EXPECT_DOUBLE_EQ(t.evaluate(0b000), 2.5);
+}
+
+TEST(TermList, FromPairsMatchesAdd) {
+  const auto a = TermList::from_pairs(4, {{1.0, {0, 1}}, {-0.5, {2}}});
+  TermList b(4, {});
+  b.add(1.0, {0, 1});
+  b.add(-0.5, {2});
+  for (std::uint64_t x = 0; x < 16; ++x)
+    EXPECT_DOUBLE_EQ(a.evaluate(x), b.evaluate(x));
+}
+
+TEST(TermList, RepeatedIndicesCancelPairwise) {
+  TermList t(4, {});
+  t.add(3.0, {1, 1});  // s1^2 = 1 -> constant
+  EXPECT_EQ(t[0].mask, 0u);
+  for (std::uint64_t x = 0; x < 16; ++x) EXPECT_DOUBLE_EQ(t.evaluate(x), 3.0);
+}
+
+TEST(TermList, TripleRepeatReducesToSingle) {
+  TermList t(4, {});
+  t.add(1.0, {2, 2, 2});  // s2^3 = s2
+  EXPECT_EQ(t[0].mask, 0b100u);
+}
+
+TEST(TermList, CanonicalizeMergesDuplicates) {
+  TermList t(3, {});
+  t.add(1.0, {0, 1});
+  t.add(2.0, {1, 0});  // same monomial
+  t.add(-3.0, {0, 1});
+  t.canonicalize();
+  EXPECT_EQ(t.size(), 0u);  // 1 + 2 - 3 = 0 -> dropped
+}
+
+TEST(TermList, CanonicalizeKeepsDistinctMasks) {
+  TermList t(3, {});
+  t.add(1.0, {0});
+  t.add(1.0, {1});
+  t.add(1.0, {0, 1});
+  t.canonicalize();
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(TermList, CanonicalizeSortsByMask) {
+  TermList t(3, {});
+  t.add(1.0, {2});
+  t.add(1.0, {0});
+  t.canonicalize();
+  EXPECT_LT(t[0].mask, t[1].mask);
+}
+
+TEST(TermList, OffsetIsEmptyMaskWeight) {
+  TermList t(3, {});
+  t.add_mask(4.5, 0);
+  t.add(1.0, {1});
+  EXPECT_DOUBLE_EQ(t.offset(), 4.5);
+}
+
+TEST(TermList, MaxOrder) {
+  TermList t(6, {});
+  EXPECT_EQ(t.max_order(), 0);
+  t.add(1.0, {0, 2, 4, 5});
+  t.add(1.0, {1});
+  EXPECT_EQ(t.max_order(), 4);
+}
+
+TEST(TermList, WeightL1ExcludesOffset) {
+  TermList t(3, {});
+  t.add_mask(100.0, 0);
+  t.add(2.0, {0});
+  t.add(-3.0, {1, 2});
+  EXPECT_DOUBLE_EQ(t.weight_l1(), 5.0);
+}
+
+TEST(TermList, EvaluateBoundsByL1PlusOffset) {
+  TermList t(5, {});
+  t.add_mask(1.0, 0);
+  t.add(2.0, {0, 3});
+  t.add(-1.5, {1, 2, 4});
+  const double bound = std::abs(t.offset()) + t.weight_l1();
+  for (std::uint64_t x = 0; x < 32; ++x)
+    EXPECT_LE(std::abs(t.evaluate(x)), bound + 1e-12);
+}
+
+TEST(TermList, AddRejectsOutOfRangeIndex) {
+  TermList t(3, {});
+  EXPECT_THROW(t.add(1.0, {3}), std::out_of_range);
+  EXPECT_THROW(t.add(1.0, {-1}), std::out_of_range);
+}
+
+TEST(TermList, AddMaskRejectsForeignBits) {
+  TermList t(3, {});
+  EXPECT_THROW(t.add_mask(1.0, 0b1000), std::out_of_range);
+}
+
+TEST(TermList, ConstructorValidatesMasks) {
+  EXPECT_THROW(TermList(2, {Term{1.0, 0b100}}), std::invalid_argument);
+  EXPECT_NO_THROW(TermList(3, {Term{1.0, 0b100}}));
+}
+
+TEST(TermList, CanonicalizeToleranceDropsTinyWeights) {
+  TermList t(2, {});
+  t.add(1e-16, {0});
+  t.add(1.0, {1});
+  t.canonicalize(1e-12);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].mask, 0b10u);
+}
+
+TEST(TermList, ToStringMentionsEverySpin) {
+  TermList t(3, {});
+  t.add(2.0, {0, 2});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("s0"), std::string::npos);
+  EXPECT_NE(s.find("s2"), std::string::npos);
+  EXPECT_EQ(s.find("s1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qokit

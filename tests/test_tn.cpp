@@ -1,0 +1,203 @@
+#include "tn/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "gatesim/compile.hpp"
+#include "gatesim/execute.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+#include "tn/tensor.hpp"
+
+namespace qokit {
+namespace {
+
+TEST(Tensor, PermuteRoundTrip) {
+  tn::Tensor t;
+  t.labels = {10, 20, 30};
+  t.data.resize(8);
+  for (int i = 0; i < 8; ++i) t.data[i] = cdouble(i, -i);
+  const tn::Tensor p = tn::permute(t, {30, 10, 20});
+  const tn::Tensor back = tn::permute(p, {10, 20, 30});
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(back.data[i], t.data[i]);
+}
+
+TEST(Tensor, PermuteMovesBitsCorrectly) {
+  // Rank-2: labels {a=0th bit, b=1st bit}; swapping labels transposes.
+  tn::Tensor t;
+  t.labels = {1, 2};
+  t.data = {cdouble(0), cdouble(1), cdouble(2), cdouble(3)};  // [b1 b0]
+  const tn::Tensor p = tn::permute(t, {2, 1});
+  EXPECT_EQ(p.data[0], cdouble(0));
+  EXPECT_EQ(p.data[1], cdouble(2));  // old (b2=1, b1=0) -> index 2
+  EXPECT_EQ(p.data[2], cdouble(1));
+  EXPECT_EQ(p.data[3], cdouble(3));
+}
+
+TEST(Tensor, ContractPairIsMatrixVector) {
+  // Matrix M (labels in=1, out=2) times vector v (label 1).
+  tn::Tensor m;
+  m.labels = {1, 2};
+  m.data = {cdouble(1), cdouble(2), cdouble(3), cdouble(4)};  // M[out][in]
+  tn::Tensor v;
+  v.labels = {1};
+  v.data = {cdouble(5), cdouble(7)};
+  const tn::Tensor r = tn::contract_pair(m, v);
+  ASSERT_EQ(r.rank(), 1);
+  // data[b_in + 2 b_out]: out=0 row (1,2), out=1 row (3,4).
+  EXPECT_EQ(r.data[0], cdouble(1) * cdouble(5) + cdouble(2) * cdouble(7));
+  EXPECT_EQ(r.data[1], cdouble(3) * cdouble(5) + cdouble(4) * cdouble(7));
+}
+
+TEST(Tensor, ContractDisconnectedIsOuterProduct) {
+  tn::Tensor a;
+  a.labels = {1};
+  a.data = {cdouble(2), cdouble(3)};
+  tn::Tensor b;
+  b.labels = {2};
+  b.data = {cdouble(5), cdouble(7)};
+  const tn::Tensor r = tn::contract_pair(a, b);
+  ASSERT_EQ(r.rank(), 2);
+  EXPECT_EQ(r.data[0], cdouble(10));
+  EXPECT_EQ(r.data[3], cdouble(21));
+}
+
+TEST(Tensor, FullContractionToScalar) {
+  tn::Tensor a;
+  a.labels = {1};
+  a.data = {cdouble(1), cdouble(2)};
+  tn::Tensor b;
+  b.labels = {1};
+  b.data = {cdouble(3), cdouble(4)};
+  const tn::Tensor r = tn::contract_pair(a, b);
+  EXPECT_EQ(tn::scalar_value(r), cdouble(11));
+}
+
+TEST(TnAmplitude, EmptyCircuitZeroInput) {
+  const Circuit c(3);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 0) - cdouble(1.0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 5)), 0.0, 1e-14);
+}
+
+TEST(TnAmplitude, PlusInputIsUniform) {
+  const Circuit c(4);
+  for (std::uint64_t x : {0ull, 7ull, 15ull})
+    EXPECT_NEAR(std::abs(tn::amplitude(c, x, /*plus_input=*/true)), 0.25,
+                1e-13);
+}
+
+TEST(TnAmplitude, SingleHadamard) {
+  Circuit c(1);
+  c.append(Gate::h(0));
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 0) - cdouble(1 / std::sqrt(2.0))), 0.0,
+              1e-13);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 1) - cdouble(1 / std::sqrt(2.0))), 0.0,
+              1e-13);
+}
+
+TEST(TnAmplitude, GhzCircuit) {
+  Circuit c(4);
+  c.append(Gate::h(0));
+  c.append(Gate::cx(0, 1));
+  c.append(Gate::cx(1, 2));
+  c.append(Gate::cx(2, 3));
+  const double r = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 0b0000) - cdouble(r)), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 0b1111) - cdouble(r)), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(tn::amplitude(c, 0b0110)), 0.0, 1e-13);
+}
+
+class TnVsStatevectorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TnVsStatevectorTest, RandomCircuitAmplitudesMatch) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const int n = 4;
+  Circuit c(n);
+  for (int i = 0; i < 25; ++i) {
+    const int q = static_cast<int>(rng.uniform_int(n));
+    int q2 = static_cast<int>(rng.uniform_int(n));
+    if (q2 == q) q2 = (q + 1) % n;
+    switch (rng.uniform_int(5)) {
+      case 0:
+        c.append(Gate::h(q));
+        break;
+      case 1:
+        c.append(Gate::rx(q, rng.uniform(-1.0, 1.0)));
+        break;
+      case 2:
+        c.append(Gate::rz(q, rng.uniform(-1.0, 1.0)));
+        break;
+      case 3:
+        c.append(Gate::cx(q, q2));
+        break;
+      default:
+        c.append(Gate::xy(q, q2, rng.uniform(-1.0, 1.0)));
+        break;
+    }
+  }
+  StateVector sv = StateVector::basis_state(n, 0);
+  run_circuit(sv, c, Exec::Serial);
+  for (std::uint64_t x = 0; x < dim_of(n); ++x) {
+    const cdouble amp = tn::amplitude(c, x);
+    EXPECT_LT(std::abs(amp - sv[x]), 1e-11) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TnVsStatevectorTest, ::testing::Range(1, 7));
+
+TEST(TnQaoa, MaxCutAmplitudesMatchStatevector) {
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 31));
+  const std::vector<double> gs{0.4, 0.2}, bs{0.7, 0.5};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                         PhaseStyle::MultiZ,
+                                         /*initial_h=*/false);
+  StateVector sv = StateVector::plus_state(6);
+  run_circuit(sv, c, Exec::Serial);
+  for (std::uint64_t x : {0ull, 13ull, 42ull, 63ull}) {
+    const cdouble amp = tn::amplitude(c, x, /*plus_input=*/true);
+    EXPECT_LT(std::abs(amp - sv[x]), 1e-11) << "x=" << x;
+  }
+}
+
+TEST(TnQaoa, LabsAmplitudeWithQuarticDiagonals) {
+  const TermList terms = labs_terms(6);
+  const std::vector<double> gs{0.15}, bs{0.45};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                         PhaseStyle::MultiZ,
+                                         /*initial_h=*/false);
+  StateVector sv = StateVector::plus_state(6);
+  run_circuit(sv, c, Exec::Serial);
+  tn::ContractionStats stats;
+  const cdouble amp = tn::amplitude(c, 21, /*plus_input=*/true, &stats);
+  EXPECT_LT(std::abs(amp - sv[21]), 1e-11);
+  EXPECT_GT(stats.contractions, 0);
+  EXPECT_GE(stats.max_rank, 4);  // quartic diagonals force wide tensors
+}
+
+TEST(TnQaoa, ContractionWidthGrowsWithDepth) {
+  // Deep QAOA drives contraction width up -- the effect that makes TN
+  // simulators lose on high-depth circuits (paper Sec. V-A).
+  const TermList terms = labs_terms(6);
+  tn::ContractionStats shallow, deep;
+  {
+    const std::vector<double> gs{0.1}, bs{0.2};
+    const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                           PhaseStyle::MultiZ, false);
+    tn::amplitude(c, 0, true, &shallow);
+  }
+  {
+    const std::vector<double> gs(4, 0.1), bs(4, 0.2);
+    const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                           PhaseStyle::MultiZ, false);
+    tn::amplitude(c, 0, true, &deep);
+  }
+  EXPECT_GE(deep.flops, shallow.flops);
+  EXPECT_GE(deep.max_rank, shallow.max_rank);
+}
+
+}  // namespace
+}  // namespace qokit

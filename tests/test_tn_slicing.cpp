@@ -1,0 +1,103 @@
+// Index-sliced tensor-network contraction.
+#include <gtest/gtest.h>
+
+#include "fur/simulator.hpp"
+#include "gatesim/compile.hpp"
+#include "gatesim/execute.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+#include "statevector/sampling.hpp"
+#include "tn/contract.hpp"
+
+namespace qokit {
+namespace {
+
+class SlicedAmplitudeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlicedAmplitudeTest, SlicedEqualsUnslicedOnQaoaCircuit) {
+  const int num_sliced = GetParam();
+  const TermList terms = maxcut_terms(Graph::random_regular(6, 3, 5));
+  const std::vector<double> gs{0.3, 0.15}, bs{-0.7, -0.4};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                         PhaseStyle::MultiZ, false);
+  const cdouble exact = tn::amplitude(c, 42, /*plus_input=*/true);
+  tn::ContractionStats stats;
+  const cdouble sliced =
+      tn::amplitude_sliced(c, 42, num_sliced, /*plus_input=*/true, &stats);
+  EXPECT_LT(std::abs(exact - sliced), 1e-10) << num_sliced;
+  EXPECT_EQ(stats.contractions > 0, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceCounts, SlicedAmplitudeTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(SlicedAmplitude, ReducesPeakIntermediateRank) {
+  const TermList terms = labs_terms(6);
+  const std::vector<double> gs{0.2, 0.2}, bs{-0.5, -0.3};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                         PhaseStyle::MultiZ, false);
+  tn::ContractionStats full, sliced;
+  tn::amplitude(c, 0, true, &full);
+  tn::amplitude_sliced(c, 0, 3, true, &sliced);
+  EXPECT_LE(sliced.max_rank, full.max_rank);
+  // The price: more total contractions across the 8 slices.
+  EXPECT_GT(sliced.contractions, full.contractions);
+}
+
+TEST(SlicedAmplitude, MatchesStatevectorGroundTruth) {
+  const TermList terms = labs_terms(5);
+  const std::vector<double> gs{0.25}, bs{-0.6};
+  const Circuit c = compile_qaoa_circuit(terms, gs, bs, MixerType::X,
+                                         PhaseStyle::MultiZ, false);
+  StateVector sv = StateVector::plus_state(5);
+  run_circuit(sv, c, Exec::Serial);
+  for (std::uint64_t x : {0ull, 7ull, 21ull, 31ull})
+    EXPECT_LT(std::abs(tn::amplitude_sliced(c, x, 2, true) - sv[x]), 1e-11)
+        << x;
+}
+
+TEST(SlicedAmplitude, RejectsSillySliceCounts) {
+  const Circuit c(3);
+  EXPECT_THROW(tn::amplitude_sliced(c, 0, -1), std::invalid_argument);
+  EXPECT_THROW(tn::amplitude_sliced(c, 0, 31), std::invalid_argument);
+}
+
+TEST(SampledEstimator, ConvergesToExactExpectation) {
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 11));
+  const FurQaoaSimulator sim(terms, {});
+  const std::vector<double> gs{0.4}, bs{-0.5};
+  const StateVector r = sim.simulate_qaoa(gs, bs);
+  const double exact = sim.get_expectation(r);
+
+  Rng rng(9);
+  const auto est = estimate_expectation_sampled(
+      r, [&terms](std::uint64_t x) { return terms.evaluate(x); }, 40000, rng);
+  EXPECT_NEAR(est.mean, exact, 5.0 * est.std_error + 1e-9);
+  EXPECT_GT(est.std_error, 0.0);
+}
+
+TEST(SampledEstimator, ErrorShrinksWithShots) {
+  const TermList terms = labs_terms(8);
+  const FurQaoaSimulator sim(terms, {});
+  const std::vector<double> gs{0.1}, bs{-0.6};
+  const StateVector r = sim.simulate_qaoa(gs, bs);
+  Rng rng(11);
+  const auto coarse = estimate_expectation_sampled(
+      r, [&terms](std::uint64_t x) { return terms.evaluate(x); }, 500, rng);
+  const auto fine = estimate_expectation_sampled(
+      r, [&terms](std::uint64_t x) { return terms.evaluate(x); }, 50000, rng);
+  EXPECT_LT(fine.std_error, coarse.std_error);
+}
+
+TEST(SampledEstimator, ZeroVarianceOnBasisState) {
+  const TermList terms = labs_terms(6);
+  const StateVector sv = StateVector::basis_state(6, 13);
+  Rng rng(3);
+  const auto est = estimate_expectation_sampled(
+      sv, [&terms](std::uint64_t x) { return terms.evaluate(x); }, 100, rng);
+  EXPECT_DOUBLE_EQ(est.mean, terms.evaluate(13));
+  EXPECT_DOUBLE_EQ(est.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace qokit
