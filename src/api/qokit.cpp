@@ -1,12 +1,43 @@
 #include "api/qokit.hpp"
 
+#include <charconv>
+#include <memory>
+#include <stdexcept>
+
 namespace qokit::api {
+namespace {
+
+/// Resolve a simulator name, including the distributed spellings
+/// "dist", "dist:K", and "dist:K:staged|pairwise|direct"; every other
+/// name is forwarded to choose_simulator.
+std::unique_ptr<QaoaFastSimulatorBase> resolve_simulator(
+    const TermList& terms, std::string_view name) {
+  if (name != "dist" && !name.starts_with("dist:"))
+    return choose_simulator(terms, name);
+  int ranks = 2;
+  AlltoallStrategy strategy = AlltoallStrategy::Staged;
+  if (name.starts_with("dist:")) {
+    std::string_view rest = name.substr(5);
+    const std::size_t colon = rest.find(':');
+    const std::string_view ranks_part = rest.substr(0, colon);
+    const auto [ptr, ec] = std::from_chars(
+        ranks_part.data(), ranks_part.data() + ranks_part.size(), ranks);
+    if (ec != std::errc{} || ptr != ranks_part.data() + ranks_part.size())
+      throw std::invalid_argument("resolve_simulator: bad rank count in '" +
+                                  std::string(name) + "'");
+    if (colon != std::string_view::npos)
+      strategy = alltoall_strategy_from_string(rest.substr(colon + 1));
+  }
+  return choose_simulator_distributed(terms, ranks, strategy);
+}
+
+}  // namespace
 
 double qaoa_maxcut_expectation(const Graph& g, std::span<const double> gammas,
                                std::span<const double> betas,
                                std::string_view simulator) {
   const TermList terms = maxcut_terms(g);
-  const auto sim = choose_simulator(terms, simulator);
+  const auto sim = resolve_simulator(terms, simulator);
   const StateVector result = sim->simulate_qaoa(gammas, betas);
   return sim->get_expectation(result);
 }
@@ -15,7 +46,7 @@ LabsEvaluation qaoa_labs_evaluate(int n, std::span<const double> gammas,
                                   std::span<const double> betas,
                                   std::string_view simulator) {
   const TermList terms = labs_terms(n);
-  const auto sim = choose_simulator(terms, simulator);
+  const auto sim = resolve_simulator(terms, simulator);
   const StateVector result = sim->simulate_qaoa(gammas, betas);
   LabsEvaluation out;
   out.expectation = sim->get_expectation(result);
@@ -39,7 +70,7 @@ SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
                                 std::span<const double> betas,
                                 std::string_view simulator) {
   const TermList terms = sat_terms(inst);
-  const auto sim = choose_simulator(terms, simulator);
+  const auto sim = resolve_simulator(terms, simulator);
   const StateVector result = sim->simulate_qaoa(gammas, betas);
   const CostDiagonal& d = sim->get_cost_diagonal();
   SatEvaluation out;
@@ -57,7 +88,7 @@ SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
 OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
                               NelderMeadOptions opts,
                               std::string_view simulator) {
-  const auto sim = choose_simulator(terms, simulator);
+  const auto sim = resolve_simulator(terms, simulator);
   QaoaObjective objective(*sim, p);
   const QaoaParams init = linear_ramp(p);
   const OptResult r = nelder_mead(

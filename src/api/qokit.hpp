@@ -32,6 +32,12 @@
 
 namespace qokit::api {
 
+// The `simulator` argument of the one-line methods accepts, besides the
+// choose_simulator names ("auto", "serial", "threaded", "u16", "fwht"),
+// the distributed spellings "dist" (2 virtual ranks, staged alltoall),
+// "dist:K", and "dist:K:staged|pairwise|direct" which route through
+// DistributedFurSimulator (X-mixer workloads only).
+
 /// QAOA objective for MaxCut on `g` at the given schedule (Listing 1).
 /// Returns <C> with C = -cut, so -return is the expected cut weight.
 double qaoa_maxcut_expectation(const Graph& g, std::span<const double> gammas,

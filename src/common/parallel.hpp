@@ -1,10 +1,18 @@
 // Thin OpenMP wrapper: every hot loop in qokit-cpp goes through
 // parallel_for / parallel_reduce so serial-vs-threaded execution is a policy
 // choice of the caller (the paper's `python` vs `c`/GPU simulator split).
+// Compiles without OpenMP too (Exec::Parallel then degrades to serial), so
+// the build treats OpenMP as an optimization, not a dependency.
 #pragma once
 
 #include <cstdint>
+
+#if defined(_OPENMP)
 #include <omp.h>
+#define QOKIT_OMP_PRAGMA(directive) _Pragma(#directive)
+#else
+#define QOKIT_OMP_PRAGMA(directive)
+#endif
 
 namespace qokit {
 
@@ -13,7 +21,13 @@ namespace qokit {
 enum class Exec { Serial, Parallel };
 
 /// Number of OpenMP threads a Parallel region will use.
-inline int max_threads() { return omp_get_max_threads(); }
+inline int max_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
 
 /// Loops shorter than this run serially even under Exec::Parallel; OpenMP
 /// team dispatch costs ~10us, so threading pays off only once a loop does
@@ -29,7 +43,7 @@ void parallel_for(Exec exec, std::int64_t begin, std::int64_t end, F&& f) {
     for (std::int64_t i = begin; i < end; ++i) f(i);
     return;
   }
-#pragma omp parallel for schedule(static)
+  QOKIT_OMP_PRAGMA(omp parallel for schedule(static))
   for (std::int64_t i = begin; i < end; ++i) f(i);
 }
 
@@ -43,7 +57,7 @@ double parallel_reduce_sum(Exec exec, std::int64_t begin, std::int64_t end,
     for (std::int64_t i = begin; i < end; ++i) acc += f(i);
     return acc;
   }
-#pragma omp parallel for schedule(static) reduction(+ : acc)
+  QOKIT_OMP_PRAGMA(omp parallel for schedule(static) reduction(+ : acc))
   for (std::int64_t i = begin; i < end; ++i) acc += f(i);
   return acc;
 }

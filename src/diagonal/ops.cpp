@@ -17,11 +17,14 @@ void check_dims(std::uint64_t a, std::uint64_t b, const char* what) {
 void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
                  Exec exec) {
   check_dims(sv.size(), diag.size(), "apply_phase");
-  cdouble* amp = sv.data();
-  const double* c = diag.data();
-  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
-               [amp, c, gamma](std::int64_t i) {
-                 const double ang = -gamma * c[i];
+  apply_phase_slice(sv.data(), diag.data(), sv.size(), gamma, exec);
+}
+
+void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec) {
+  parallel_for(exec, 0, static_cast<std::int64_t>(count),
+               [amp, costs, gamma](std::int64_t i) {
+                 const double ang = -gamma * costs[i];
                  amp[i] *= cdouble(std::cos(ang), std::sin(ang));
                });
 }
@@ -42,11 +45,14 @@ void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
 double expectation(const StateVector& sv, const CostDiagonal& diag,
                    Exec exec) {
   check_dims(sv.size(), diag.size(), "expectation");
-  const cdouble* amp = sv.data();
-  const double* c = diag.data();
+  return expectation_slice(sv.data(), diag.data(), sv.size(), exec);
+}
+
+double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec) {
   return parallel_reduce_sum(
-      exec, 0, static_cast<std::int64_t>(sv.size()),
-      [amp, c](std::int64_t i) { return std::norm(amp[i]) * c[i]; });
+      exec, 0, static_cast<std::int64_t>(count),
+      [amp, costs](std::int64_t i) { return std::norm(amp[i]) * costs[i]; });
 }
 
 double expectation(const StateVector& sv, const DiagonalU16& diag,
@@ -94,6 +100,27 @@ double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
       [amp, c, lo, tol](std::int64_t i) {
         return c[i] <= lo + tol ? std::norm(amp[i]) : 0.0;
       });
+}
+
+double overlap_ground_sector(const StateVector& sv, const CostDiagonal& diag,
+                             int weight, double tol) {
+  check_dims(sv.size(), diag.size(), "overlap_ground_sector");
+  double lo = 0.0;
+  bool found = false;
+  for (std::uint64_t x = 0; x < diag.size(); ++x) {
+    if (popcount(x) != weight) continue;
+    if (!found || diag[x] < lo) {
+      lo = diag[x];
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("overlap_ground_sector: empty weight sector");
+  double mass = 0.0;
+  for (std::uint64_t x = 0; x < diag.size(); ++x)
+    if (popcount(x) == weight && diag[x] <= lo + tol)
+      mass += std::norm(sv[x]);
+  return mass;
 }
 
 }  // namespace qokit

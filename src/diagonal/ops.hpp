@@ -16,6 +16,12 @@ namespace qokit {
 void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
                  Exec exec = Exec::Parallel);
 
+/// Raw-slice phase kernel shared by the full-vector overload above and the
+/// distributed simulator's per-rank slices, so the sharded evolution tracks
+/// the single-node one bit-for-bit by construction.
+void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec = Exec::Parallel);
+
 /// Phase operator through the uint16 codec: a 65536-entry phase lookup
 /// table is built once per call and gathered per amplitude.
 void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
@@ -25,6 +31,11 @@ void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
 /// product; O(2^n), independent of |T|).
 double expectation(const StateVector& sv, const CostDiagonal& diag,
                    Exec exec = Exec::Parallel);
+
+/// Raw-slice objective kernel (one rank's partial sum in the distributed
+/// simulator); the full-vector overload above reduces over it.
+double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec = Exec::Parallel);
 
 /// Objective through the uint16 codec.
 double expectation(const StateVector& sv, const DiagonalU16& diag,
@@ -39,5 +50,12 @@ double expectation_terms(const StateVector& sv, const TermList& terms,
 /// within `tol` of the diagonal minimum (QOKit's get_overlap).
 double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
                       double tol = 1e-9, Exec exec = Exec::Parallel);
+
+/// Sector-restricted ground-state overlap: the minimum is taken within the
+/// Hamming-weight-`weight` slice (xy mixers never leave it). Throws
+/// std::invalid_argument if the sector is empty. Shared by every simulator
+/// backend so the sector semantics cannot drift between them.
+double overlap_ground_sector(const StateVector& sv, const CostDiagonal& diag,
+                             int weight, double tol = 1e-9);
 
 }  // namespace qokit

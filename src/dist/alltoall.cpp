@@ -1,0 +1,132 @@
+// The three alltoall transports (see alltoall.hpp for the model each one
+// corresponds to). All operate on the same window table published in
+// WorldState and realize the same permutation: rank r block b ends up
+// holding what rank b held in block r.
+#include "dist/alltoall.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "dist/communicator.hpp"
+
+namespace qokit {
+
+std::string_view to_string(AlltoallStrategy strategy) {
+  switch (strategy) {
+    case AlltoallStrategy::Staged:
+      return "staged";
+    case AlltoallStrategy::Pairwise:
+      return "pairwise";
+    case AlltoallStrategy::Direct:
+      return "direct";
+  }
+  throw std::logic_error("to_string: unknown AlltoallStrategy");
+}
+
+AlltoallStrategy alltoall_strategy_from_string(std::string_view name) {
+  if (name == "staged") return AlltoallStrategy::Staged;
+  if (name == "pairwise") return AlltoallStrategy::Pairwise;
+  if (name == "direct") return AlltoallStrategy::Direct;
+  throw std::invalid_argument("unknown alltoall strategy '" +
+                              std::string(name) + "'");
+}
+
+namespace {
+
+using detail::WorldState;
+
+/// MPI_Alltoall model: scatter into a central staging buffer laid out
+/// destination-major, then every rank reads its row back contiguously.
+/// Two full copies of the exchanged data.
+void alltoall_staged(WorldState& st, int rank, cdouble* buf,
+                     std::uint64_t block) {
+  const int k = st.size;
+  const std::uint64_t total = static_cast<std::uint64_t>(k) * k * block;
+  // Entry barrier doubles as the guard that every rank has finished reading
+  // the staging buffer from any previous exchange before rank 0 regrows it.
+  st.barrier.arrive_and_wait();
+  if (rank == 0 && st.staging.size() < total) st.staging.resize(total);
+  st.barrier.arrive_and_wait();
+  // If any rank died (in particular rank 0, which owns the resize above),
+  // the staging buffer cannot be trusted; abandon the exchange and let
+  // run() re-throw after the join.
+  if (st.failed.load(std::memory_order_acquire)) return;
+  // staging[(dest * k + src) * block .. ] = src's block dest.
+  for (int b = 0; b < k; ++b)
+    std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
+                st.staging.data() +
+                    (static_cast<std::uint64_t>(b) * k + rank) * block);
+  st.barrier.arrive_and_wait();
+  // My row is contiguous: block b = what rank b sent to me.
+  std::copy_n(st.staging.data() + static_cast<std::uint64_t>(rank) * k * block,
+              static_cast<std::uint64_t>(k) * block, buf);
+  st.barrier.arrive_and_wait();
+}
+
+/// GPU p2p model: K-1 XOR-scheduled rounds of direct block swaps. In round
+/// s the pair (r, r^s) swaps r's block r^s with (r^s)'s block r; the lower
+/// rank performs the swap while the higher one holds at the round barrier.
+/// Each block is touched in exactly one round, so the rounds compose into
+/// the full transpose with a single copy per element.
+void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
+                       std::uint64_t block) {
+  const int k = st.size;
+  st.windows[rank] = buf;
+  st.barrier.arrive_and_wait();
+  for (int s = 1; s < k; ++s) {
+    // A peer that threw never (re)published its window; abandon the
+    // exchange rather than swap through a stale or null pointer. run()
+    // re-throws the peer's exception once the team joins.
+    if (st.failed.load(std::memory_order_acquire)) return;
+    const int peer = rank ^ s;
+    if (rank < peer) {
+      cdouble* mine = buf + static_cast<std::uint64_t>(peer) * block;
+      cdouble* theirs =
+          st.windows[peer] + static_cast<std::uint64_t>(rank) * block;
+      std::swap_ranges(mine, mine + block, theirs);
+    }
+    st.barrier.arrive_and_wait();
+  }
+}
+
+/// One-sided RDMA model: every rank publishes a receive slice and each
+/// peer writes its outgoing block straight into it; one remote write plus
+/// one local copy back into the live buffer.
+void alltoall_direct(WorldState& st, int rank, cdouble* buf,
+                     std::uint64_t block, std::vector<cdouble>& recv) {
+  const int k = st.size;
+  recv.resize(static_cast<std::uint64_t>(k) * block);
+  st.windows[rank] = recv.data();
+  st.barrier.arrive_and_wait();
+  // See alltoall_pairwise: never write into a dead rank's window.
+  if (st.failed.load(std::memory_order_acquire)) return;
+  for (int b = 0; b < k; ++b)
+    std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
+                st.windows[b] + static_cast<std::uint64_t>(rank) * block);
+  st.barrier.arrive_and_wait();
+  std::copy_n(recv.data(), recv.size(), buf);
+  // Exit barrier: nobody re-publishes a window (next exchange) while a
+  // peer is still draining its receive slice.
+  st.barrier.arrive_and_wait();
+}
+
+}  // namespace
+
+void Communicator::alltoall(cdouble* buf, std::uint64_t block) {
+  if (state_->size == 1) return;  // self-exchange is the identity
+  switch (state_->strategy) {
+    case AlltoallStrategy::Staged:
+      alltoall_staged(*state_, rank_, buf, block);
+      return;
+    case AlltoallStrategy::Pairwise:
+      alltoall_pairwise(*state_, rank_, buf, block);
+      return;
+    case AlltoallStrategy::Direct:
+      alltoall_direct(*state_, rank_, buf, block, recv_);
+      return;
+  }
+  throw std::logic_error("alltoall: unknown strategy");
+}
+
+}  // namespace qokit

@@ -1,0 +1,35 @@
+// Alltoall transport selection for the distributed simulator (paper
+// Sec. III-C): the qubit-reordering exchange of Algorithm 4 is a K-rank
+// block transpose, and the three strategies here model the three wirings
+// the paper benchmarks against each other (Fig. 5).
+//
+//   Staged   -- every rank copies its K blocks into a central staging
+//               buffer, then copies its destination row back out. Two full
+//               copies of the state; models MPI_Alltoall through a host
+//               staging area.
+//   Pairwise -- K-1 XOR-scheduled rounds; in round s ranks r and r^s swap
+//               block r^s of r with block r of r^s directly. One copy,
+//               models cuStateVec-style GPU peer-to-peer swaps.
+//   Direct   -- every rank writes each outgoing block straight into the
+//               destination rank's receive slice (one remote write + one
+//               local copy back); models one-sided RDMA puts.
+//
+// All three realize the identical permutation: after the exchange, rank
+// r's block b holds what rank b held in block r. They are bit-identical
+// in result and differ only in copy count and synchronization shape.
+#pragma once
+
+#include <string_view>
+
+namespace qokit {
+
+/// Which transport Communicator::alltoall uses. See file comment.
+enum class AlltoallStrategy { Staged, Pairwise, Direct };
+
+/// Human-readable transport name ("staged", "pairwise", "direct").
+std::string_view to_string(AlltoallStrategy strategy);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+AlltoallStrategy alltoall_strategy_from_string(std::string_view name);
+
+}  // namespace qokit

@@ -1,0 +1,109 @@
+// Virtual-rank execution world for the distributed simulator (paper
+// Sec. III-C). K virtual ranks stand in for the paper's GPUs/MPI ranks:
+// each rank is a thread owning one 2^(n - log2 K)-amplitude slice of the
+// state vector, and cross-rank traffic goes through the Communicator's
+// collectives exactly where a production deployment would place
+// MPI_Alltoall / cuStateVec p2p calls (see DESIGN.md for the mapping).
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dist/alltoall.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit {
+
+namespace detail {
+
+/// Shared state of one world.run() invocation: the rendezvous barrier plus
+/// the exchange windows ranks publish into. Everything cross-thread is
+/// synchronized by the barrier (arrive_and_wait has acquire/release
+/// semantics), so the raw pointers need no atomics.
+struct WorldState {
+  WorldState(int size, AlltoallStrategy strategy)
+      : size(size),
+        strategy(strategy),
+        barrier(size),
+        windows(static_cast<std::size_t>(size), nullptr),
+        reduce_slots(static_cast<std::size_t>(size), 0.0) {}
+
+  const int size;
+  const AlltoallStrategy strategy;
+  std::barrier<> barrier;
+  /// Per-rank published pointer: the live buffer (Pairwise) or the receive
+  /// slice (Direct) of each rank during an exchange.
+  std::vector<cdouble*> windows;
+  /// Per-rank slots for allreduce_sum.
+  std::vector<double> reduce_slots;
+  /// Central gather buffer for the Staged transport; grown on demand by
+  /// rank 0 between barriers.
+  std::vector<cdouble> staging;
+  /// Set (before arrive_and_drop) by a rank whose closure threw. Window-
+  /// touching transports check it after every barrier and bail out so
+  /// survivors never dereference a dead rank's window; run() re-throws
+  /// the original exception after the join.
+  std::atomic<bool> failed{false};
+};
+
+}  // namespace detail
+
+/// Per-rank handle passed to the closure of VirtualRankWorld::run. Mirrors
+/// the slice of an MPI communicator a rank would see: identity, barrier,
+/// and the two collectives Algorithm 4 needs.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return state_->size; }
+
+  /// Block until every rank has arrived.
+  void barrier() { state_->barrier.arrive_and_wait(); }
+
+  /// Sum `value` over all ranks; every rank receives the same total
+  /// (summed in rank order, so the result is scheduling-independent).
+  /// Safe to call repeatedly back-to-back.
+  double allreduce_sum(double value);
+
+  /// In-place block exchange over `buf`, which holds size() blocks of
+  /// `block` complex amplitudes. Afterwards block b holds what rank b held
+  /// in block rank(): the transpose that implements the paper's
+  /// global<->local qubit reordering. All ranks must call collectively
+  /// with the same `block`. The transport is the world's strategy; all
+  /// three produce bit-identical results.
+  void alltoall(cdouble* buf, std::uint64_t block);
+
+ private:
+  friend class VirtualRankWorld;
+  Communicator(int rank, detail::WorldState* state)
+      : rank_(rank), state_(state) {}
+
+  int rank_;
+  detail::WorldState* state_;
+  std::vector<cdouble> recv_;  ///< Direct-transport receive slice
+};
+
+/// K virtual ranks (threads) executing one SPMD closure, K a power of two.
+/// run() may be invoked any number of times; each invocation spawns a
+/// fresh team with barrier semantics and joins it before returning. An
+/// exception thrown by any rank is re-thrown (first rank wins) after the
+/// team joins.
+class VirtualRankWorld {
+ public:
+  /// Throws std::invalid_argument unless `size` is a power of two >= 1.
+  VirtualRankWorld(int size, AlltoallStrategy strategy);
+
+  int size() const noexcept { return size_; }
+  AlltoallStrategy strategy() const noexcept { return strategy_; }
+
+  /// Execute `fn` once per rank, in parallel, and join.
+  void run(const std::function<void(Communicator&)>& fn) const;
+
+ private:
+  int size_;
+  AlltoallStrategy strategy_;
+};
+
+}  // namespace qokit

@@ -1,0 +1,100 @@
+// Distributed QAOA fast simulator (paper Sec. III-C, Algorithm 4).
+//
+// The 2^n statevector is sharded across K virtual ranks into contiguous
+// slices of 2^(n - log2 K) amplitudes; rank r owns global indices
+// [r * 2^(n-g), (r+1) * 2^(n-g)) with g = log2 K, i.e. the top g qubits
+// are "global" (encoded in the rank index) and the low n-g are "local".
+// Per layer each rank applies the phase multiply against its precomputed
+// diagonal slice, runs the fused X-mixer on the local qubits, and the
+// global qubits are handled by the alltoall qubit reordering: one block
+// exchange swaps qubit ranges [n-2g, n-g) and [n-g, n), making the former
+// global qubits local so the same in-place kernel can mix them, and a
+// second exchange restores the canonical ordering. Requires n >= 2 log2 K.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "diagonal/cost_diagonal.hpp"
+#include "dist/communicator.hpp"
+#include "fur/simulator.hpp"
+#include "statevector/state.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+namespace dist {
+
+// The phase operator needs no distributed counterpart: the diagonal is
+// sharded the same way as the state, so ranks call the shared
+// apply_phase_slice kernel (diagonal/ops.hpp) on their own slice.
+
+/// Distributed transverse-field mixer e^{-i beta sum X} over a sharded
+/// state (the mixer step of Algorithm 4). `local` is this rank's slice of
+/// `local_size` = 2^(num_qubits - log2 K) amplitudes. Mixes the local
+/// qubits in place, then performs alltoall -> mix former-global qubits ->
+/// alltoall to cover the global ones. Collective: every rank of `comm`
+/// must call with the same num_qubits and beta.
+void apply_mixer_x(Communicator& comm, cdouble* local,
+                   std::uint64_t local_size, int num_qubits, double beta);
+
+/// <C> contribution of one local slice: sum_i |amp_i|^2 costs_i, reduced
+/// over all ranks; every rank returns the same total.
+double expectation_slice(Communicator& comm, const cdouble* local,
+                         const double* costs, std::uint64_t count);
+
+}  // namespace dist
+
+/// Construction-time options for DistributedFurSimulator.
+struct DistConfig {
+  int ranks = 2;  ///< virtual rank count K; must be a power of two
+  AlltoallStrategy strategy = AlltoallStrategy::Staged;
+};
+
+/// Algorithm 4 on K virtual ranks. Drop-in replacement for
+/// FurQaoaSimulator (same base interface, matches it to fp tolerance);
+/// X mixer only, as in the paper's distributed implementation.
+class DistributedFurSimulator final : public QaoaFastSimulatorBase {
+ public:
+  /// Precomputes the cost diagonal slice-by-slice across the ranks.
+  /// Throws std::invalid_argument if cfg.ranks is not a power of two or
+  /// if 2 * log2(ranks) > n (a rank must own at least as many local
+  /// qubits as there are global ones for the reordering to fit).
+  explicit DistributedFurSimulator(const TermList& terms, DistConfig cfg = {});
+
+  int num_qubits() const override { return diag_.num_qubits(); }
+  StateVector initial_state() const override;
+  StateVector simulate_qaoa_from(StateVector state,
+                                 std::span<const double> gammas,
+                                 std::span<const double> betas) const override;
+  using QaoaFastSimulatorBase::get_expectation;  // keep the costs overloads
+  using QaoaFastSimulatorBase::get_overlap;
+  double get_expectation(const StateVector& result) const override;
+  double get_overlap(const StateVector& result,
+                     int restrict_weight = -1) const override;
+  const CostDiagonal& get_cost_diagonal() const override { return diag_; }
+
+  /// Simulate and reduce <C> without gathering the state: each rank
+  /// scores its own slice and the total comes back through one
+  /// allreduce -- the objective-evaluation path of the paper's
+  /// distributed optimization runs.
+  double simulate_and_expectation(std::span<const double> gammas,
+                                  std::span<const double> betas) const;
+
+  const DistConfig& config() const { return cfg_; }
+  /// log2 of the rank count: how many qubits live in the rank index.
+  int global_qubits() const { return log2_ranks_; }
+
+ private:
+  DistConfig cfg_;
+  int log2_ranks_;
+  VirtualRankWorld world_;
+  CostDiagonal diag_;
+};
+
+/// Factory matching choose_simulator's shape for the distributed backend.
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_distributed(
+    const TermList& terms, int ranks,
+    AlltoallStrategy strategy = AlltoallStrategy::Staged);
+
+}  // namespace qokit

@@ -84,23 +84,7 @@ double FurQaoaSimulator::get_expectation(const StateVector& result) const {
 double FurQaoaSimulator::get_overlap(const StateVector& result,
                                      int restrict_weight) const {
   if (restrict_weight < 0) return overlap_ground(result, diag_, 1e-9, cfg_.exec);
-  // Sector-restricted ground states: minimum over the Hamming-weight-k
-  // slice (xy mixers never leave it).
-  double lo = 0.0;
-  bool found = false;
-  for (std::uint64_t x = 0; x < diag_.size(); ++x) {
-    if (popcount(x) != restrict_weight) continue;
-    if (!found || diag_[x] < lo) {
-      lo = diag_[x];
-      found = true;
-    }
-  }
-  if (!found) throw std::invalid_argument("get_overlap: empty weight sector");
-  double mass = 0.0;
-  for (std::uint64_t x = 0; x < diag_.size(); ++x)
-    if (popcount(x) == restrict_weight && diag_[x] <= lo + 1e-9)
-      mass += std::norm(result[x]);
-  return mass;
+  return overlap_ground_sector(result, diag_, restrict_weight);
 }
 
 const DiagonalU16& FurQaoaSimulator::diagonal_u16() const {
