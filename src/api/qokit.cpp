@@ -85,19 +85,37 @@ SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
   return out;
 }
 
+std::vector<double> qaoa_batch_expectation(
+    const TermList& terms, std::span<const QaoaParams> schedules,
+    std::string_view simulator) {
+  const auto sim = resolve_simulator(terms, simulator);
+  return BatchEvaluator(*sim).expectations(schedules);
+}
+
+BatchResult qaoa_batch_evaluate(const TermList& terms,
+                                std::span<const QaoaParams> schedules,
+                                BatchOptions opts,
+                                std::string_view simulator) {
+  const auto sim = resolve_simulator(terms, simulator);
+  return BatchEvaluator(*sim, opts).evaluate(schedules);
+}
+
 OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
                               NelderMeadOptions opts,
                               std::string_view simulator) {
   const auto sim = resolve_simulator(terms, simulator);
-  QaoaObjective objective(*sim, p);
+  QaoaBatchObjective objective(*sim, p);
   const QaoaParams init = linear_ramp(p);
-  const OptResult r = nelder_mead(
-      [&objective](const std::vector<double>& x) { return objective(x); },
+  const OptResult r = nelder_mead_batched(
+      [&objective](const std::vector<std::vector<double>>& points) {
+        return objective(points);
+      },
       init.flatten(), opts);
   OptimizeOutcome out;
   out.params = QaoaParams::unflatten(r.x);
   out.fval = r.fval;
   out.evaluations = objective.evaluations();
+  out.batches = objective.batches();
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <span>
 #include <string_view>
 
+#include "batch/batch_eval.hpp"
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -77,12 +78,31 @@ SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
                                 std::span<const double> betas,
                                 std::string_view simulator = "auto");
 
+/// Batched multi-schedule expectation: precompute the diagonal once and
+/// evaluate <C> for every schedule through BatchEvaluator (shared scratch,
+/// schedule- or state-parallel by the cost heuristic). Results are
+/// bit-identical to calling simulate_qaoa per schedule in a loop.
+std::vector<double> qaoa_batch_expectation(
+    const TermList& terms, std::span<const QaoaParams> schedules,
+    std::string_view simulator = "auto");
+
+/// Full batched evaluation: expectations plus optional ground-state
+/// overlaps and sampled bitstrings per schedule, per `opts`.
+BatchResult qaoa_batch_evaluate(const TermList& terms,
+                                std::span<const QaoaParams> schedules,
+                                BatchOptions opts,
+                                std::string_view simulator = "auto");
+
 /// One-call parameter optimization: build the fast simulator for `terms`,
-/// start from a linear-ramp schedule at depth p, run Nelder-Mead.
+/// start from a linear-ramp schedule at depth p, run Nelder-Mead. The
+/// optimizer submits its populations (initial simplex, shrink steps)
+/// through BatchEvaluator -- identical trajectory to the scalar path,
+/// evaluated batch-at-a-time.
 struct OptimizeOutcome {
   QaoaParams params;      ///< optimized schedule
   double fval = 0.0;      ///< optimized objective
   int evaluations = 0;    ///< simulator calls spent
+  int batches = 0;        ///< batch submissions those calls arrived in
 };
 OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
                               NelderMeadOptions opts = {},

@@ -1,0 +1,156 @@
+#include "batch/batch_eval.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "statevector/sampling.hpp"
+
+namespace qokit {
+namespace {
+
+/// Fill the requested per-schedule outputs from an evolved state. Always
+/// called on the submitting thread, in schedule order, so every reduction
+/// runs in the exact context a sequential simulate_qaoa loop would use.
+void score_one(const QaoaFastSimulatorBase& sim, const BatchOptions& opts,
+               std::size_t index, StateVector& state, BatchResult& out) {
+  if (!out.expectations.empty())
+    out.expectations[index] = sim.get_expectation(state);
+  if (!out.overlaps.empty()) out.overlaps[index] = sim.get_overlap(state);
+  if (!out.samples.empty()) {
+    // Seeded per schedule index, so the drawn bitstrings are independent
+    // of evaluation order and of the parallelism mode.
+    Rng rng(opts.sample_seed + index);
+    out.samples[index] = sample_states(state, opts.sample_shots, rng);
+  }
+  if (!out.states.empty()) out.states[index] = state;  // copy; slot lives on
+}
+
+}  // namespace
+
+BatchEvaluator::BatchEvaluator(const QaoaFastSimulatorBase& sim,
+                               BatchOptions opts)
+    : sim_(&sim),
+      opts_(opts),
+      init_(sim.initial_state()),
+      scratch_(static_cast<std::size_t>(max_threads())) {
+  if (opts_.sample_shots < 0)
+    throw std::invalid_argument("BatchEvaluator: sample_shots must be >= 0");
+}
+
+BatchParallelism BatchEvaluator::resolve_parallelism(std::size_t batch) const {
+  if (opts_.parallelism != BatchParallelism::Auto) return opts_.parallelism;
+  const int threads = max_threads();
+  if (threads <= 1 || batch < 2) return BatchParallelism::Inner;
+  // One simulate_qaoa call already employs the machine's threads itself
+  // (the virtual-rank distributed simulator): stacking an outer team on
+  // top would only oversubscribe.
+  if (sim_->prefers_sequential_batches()) return BatchParallelism::Inner;
+  const std::uint64_t bytes = init_.size() * sizeof(cdouble);
+  if (static_cast<std::uint64_t>(threads) * bytes > kMaxOuterScratchBytes)
+    return BatchParallelism::Inner;
+  // Sub-grain states get no inner parallelism at all (parallel_for runs
+  // them serially), so threading across schedules is the only parallelism
+  // available -- and it skips the per-kernel team dispatch entirely.
+  if (init_.size() < static_cast<std::uint64_t>(kParallelGrain))
+    return BatchParallelism::Outer;
+  // Large states: outer only when the batch can fill every thread;
+  // otherwise the simulator's own kernels use the machine better.
+  return batch >= static_cast<std::size_t>(threads) ? BatchParallelism::Outer
+                                                    : BatchParallelism::Inner;
+}
+
+BatchResult BatchEvaluator::evaluate_with(std::span<const QaoaParams> schedules,
+                                          const BatchOptions& opts) const {
+  for (const QaoaParams& s : schedules)
+    if (s.gammas.size() != s.betas.size())
+      throw std::invalid_argument(
+          "BatchEvaluator: gammas/betas length mismatch");
+  const std::size_t m = schedules.size();
+  BatchResult out;
+  out.used = resolve_parallelism(m);
+  if (opts.compute_expectation) out.expectations.resize(m);
+  if (opts.compute_overlap) out.overlaps.resize(m);
+  if (opts.keep_states) out.states.resize(m);
+  if (opts.sample_shots > 0) out.samples.resize(m);
+
+  // Evolve schedule i in slot: refill from the cached initial state (a
+  // copy-assign that reuses the slot's buffer, so no allocation after the
+  // slot's first use), then the consume-in-place evolution; the buffer
+  // round-trips through moves and comes back to the slot.
+  auto evolve = [&](std::size_t i, StateVector& slot) {
+    slot = init_;
+    slot = sim_->simulate_qaoa_from(std::move(slot), schedules[i].gammas,
+                                    schedules[i].betas);
+  };
+
+  if (out.used == BatchParallelism::Inner) {
+    StateVector& slot = scratch_.front();
+    for (std::size_t i = 0; i < m; ++i) {
+      evolve(i, slot);
+      score_one(*sim_, opts, i, slot, out);
+    }
+    return out;
+  }
+
+  // Outer: rounds of up to one schedule per scratch slot. Evolution
+  // threads across the round (schedule(static, 1) pins iteration c to one
+  // thread, so slot c is touched by exactly one thread; the kernels are
+  // elementwise, so partitioning cannot change their arithmetic). Scoring
+  // runs after the join on the calling thread, exactly where a sequential
+  // loop would score, which keeps the reductions bit-identical to the
+  // non-batched path at every state size.
+  const std::size_t slots = scratch_.size();
+  std::vector<std::exception_ptr> errors(slots);
+  for (std::size_t base = 0; base < m; base += slots) {
+    const std::int64_t chunk =
+        static_cast<std::int64_t>(std::min(slots, m - base));
+    QOKIT_OMP_PRAGMA(omp parallel for schedule(static, 1))
+    for (std::int64_t c = 0; c < chunk; ++c) {
+      // Exceptions (e.g. bad_alloc filling a scratch slot) must not
+      // escape the parallel region -- that would call std::terminate.
+      // Funnel them through per-slot pointers and rethrow after the join,
+      // so failure behaves like the sequential loop's.
+      try {
+        evolve(base + static_cast<std::size_t>(c),
+               scratch_[static_cast<std::size_t>(c)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(c)] = std::current_exception();
+      }
+    }
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+    for (std::int64_t c = 0; c < chunk; ++c)
+      score_one(*sim_, opts, base + static_cast<std::size_t>(c),
+                scratch_[static_cast<std::size_t>(c)], out);
+  }
+  return out;
+}
+
+BatchResult BatchEvaluator::evaluate(
+    std::span<const QaoaParams> schedules) const {
+  return evaluate_with(schedules, opts_);
+}
+
+std::vector<double> BatchEvaluator::expectations(
+    std::span<const QaoaParams> schedules) const {
+  BatchOptions trimmed = opts_;  // keep the parallelism choice
+  trimmed.compute_expectation = true;
+  trimmed.compute_overlap = false;
+  trimmed.keep_states = false;
+  trimmed.sample_shots = 0;
+  return std::move(evaluate_with(schedules, trimmed).expectations);
+}
+
+std::vector<double> BatchEvaluator::expectations_packed(
+    const std::vector<std::vector<double>>& points) const {
+  std::vector<QaoaParams> schedules;
+  schedules.reserve(points.size());
+  for (const std::vector<double>& x : points)
+    schedules.push_back(QaoaParams::unflatten(x));
+  return expectations(schedules);
+}
+
+}  // namespace qokit

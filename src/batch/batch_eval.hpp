@@ -1,0 +1,104 @@
+// Batched multi-schedule evaluation engine (the "many (gamma, beta)
+// queries, one problem" workload).
+//
+// Algorithm 3 amortizes the cost-diagonal precompute over every QAOA
+// layer; a parameter-optimization or serving workload should amortize it
+// over every *schedule* too. BatchEvaluator owns that amortization: it
+// wraps one QaoaFastSimulatorBase (whose diagonal was precomputed once),
+// caches the initial state, and reuses per-thread scratch statevectors so
+// evaluating a batch of schedules performs zero steady-state allocations.
+//
+// Parallelism is two-level and chosen by a cost heuristic (see DESIGN.md):
+//  - Outer: thread across schedules, one scratch state per thread. Wins
+//    for many small jobs, where the per-kernel OpenMP dispatch is pure
+//    overhead (sub-grain loops run serially anyway).
+//  - Inner: sequential over schedules; each simulate_qaoa uses the
+//    simulator's own Exec policy. Wins for few large jobs, and is forced
+//    for simulators that already own the machine's threads (dist:K).
+// Either way the per-schedule arithmetic is the exact code path of a
+// sequential simulate_qaoa loop, so results are bit-identical to it (the
+// cross-validation suite asserts equality, not tolerance).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fur/simulator.hpp"
+#include "optimize/params.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit {
+
+/// How BatchEvaluator::evaluate maps schedules onto the machine.
+enum class BatchParallelism {
+  Auto,   ///< resolve_parallelism picks Outer or Inner per batch
+  Outer,  ///< thread across schedules, serial kernels inside each
+  Inner,  ///< sequential over schedules, simulator's Exec inside each
+};
+
+/// What evaluate() computes per schedule.
+struct BatchOptions {
+  BatchParallelism parallelism = BatchParallelism::Auto;
+  bool compute_expectation = true;  ///< fill BatchResult::expectations
+  bool compute_overlap = false;     ///< fill BatchResult::overlaps
+  bool keep_states = false;  ///< fill BatchResult::states (copies; test aid)
+  int sample_shots = 0;      ///< >0: sample this many bitstrings/schedule
+  std::uint64_t sample_seed = 1;  ///< schedule i samples with seed+i
+};
+
+/// Per-schedule outputs, indexed like the submitted schedule span.
+struct BatchResult {
+  std::vector<double> expectations;  ///< empty unless compute_expectation
+  std::vector<double> overlaps;      ///< empty unless compute_overlap
+  std::vector<StateVector> states;   ///< empty unless keep_states
+  std::vector<std::vector<std::uint64_t>> samples;  ///< empty unless shots
+  BatchParallelism used = BatchParallelism::Inner;  ///< mode that ran
+};
+
+/// Evaluates batches of QAOA schedules against one simulator, sharing the
+/// precomputed diagonal and reusing scratch statevectors across schedules
+/// and across evaluate() calls. Schedules in one batch may have different
+/// depths. Not safe for concurrent evaluate() calls on one instance (the
+/// scratch pool is per-instance); distinct instances are independent.
+class BatchEvaluator {
+ public:
+  /// `sim` must outlive the evaluator. Caches sim.initial_state() once.
+  explicit BatchEvaluator(const QaoaFastSimulatorBase& sim,
+                          BatchOptions opts = {});
+
+  /// Evaluate every schedule; results are indexed like `schedules`.
+  BatchResult evaluate(std::span<const QaoaParams> schedules) const;
+
+  /// Expectations only (the optimizer-population fast path); ignores the
+  /// compute_* options.
+  std::vector<double> expectations(std::span<const QaoaParams> schedules)
+      const;
+
+  /// Expectations of packed optimizer points x = (gamma_1..gamma_p,
+  /// beta_1..beta_p); each point may be any even length.
+  std::vector<double> expectations_packed(
+      const std::vector<std::vector<double>>& points) const;
+
+  /// The Auto heuristic's decision for a batch of `batch` schedules
+  /// (exposed so tests and benches can see which mode will run).
+  BatchParallelism resolve_parallelism(std::size_t batch) const;
+
+  const QaoaFastSimulatorBase& simulator() const { return *sim_; }
+  const BatchOptions& options() const { return opts_; }
+
+  /// Outer mode keeps one scratch state per thread; above this total
+  /// footprint the Auto heuristic falls back to Inner.
+  static constexpr std::uint64_t kMaxOuterScratchBytes = 1ull << 32;
+
+ private:
+  BatchResult evaluate_with(std::span<const QaoaParams> schedules,
+                            const BatchOptions& opts) const;
+
+  const QaoaFastSimulatorBase* sim_;
+  BatchOptions opts_;
+  StateVector init_;  ///< cached initial state, copied into scratch per job
+  mutable std::vector<StateVector> scratch_;  ///< one reusable state/thread
+};
+
+}  // namespace qokit

@@ -1,13 +1,28 @@
 // Cache-line-aligned storage for state vectors and cost vectors.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <limits>
 #include <new>
 #include <vector>
 
 namespace qokit {
+
+namespace detail {
+/// Running count of AlignedAllocator::allocate calls. The scratch-reuse
+/// regression tests read it to pin that the hot evaluation loops perform
+/// zero steady-state statevector allocations; one relaxed increment per
+/// 2^n-element allocation is free next to the allocation itself.
+inline std::atomic<std::uint64_t> aligned_alloc_count{0};
+}  // namespace detail
+
+/// Total AlignedAllocator::allocate calls so far in this process.
+inline std::uint64_t aligned_allocation_count() {
+  return detail::aligned_alloc_count.load(std::memory_order_relaxed);
+}
 
 /// Allocator returning 64-byte aligned memory so that SIMD loads in the hot
 /// kernels never straddle cache lines and false sharing between OpenMP
@@ -32,6 +47,7 @@ struct AlignedAllocator {
       throw std::bad_alloc();
     void* p = std::aligned_alloc(Alignment, round_up(n * sizeof(T)));
     if (!p) throw std::bad_alloc();
+    detail::aligned_alloc_count.fetch_add(1, std::memory_order_relaxed);
     return static_cast<T*>(p);
   }
 

@@ -74,6 +74,10 @@ class DistributedFurSimulator final : public QaoaFastSimulatorBase {
                      int restrict_weight = -1) const override;
   const CostDiagonal& get_cost_diagonal() const override { return diag_; }
 
+  /// The K rank threads are the parallelism here; tell batch engines not
+  /// to stack an outer schedule team on top of them.
+  bool prefers_sequential_batches() const override { return cfg_.ranks > 1; }
+
   /// Simulate and reduce <C> without gathering the state: each rank
   /// scores its own slice and the total comes back through one
   /// allreduce -- the objective-evaluation path of the paper's

@@ -86,6 +86,12 @@ class QaoaFastSimulatorBase {
 
   /// The precomputed diagonal (QOKit's get_cost_diagonal).
   virtual const CostDiagonal& get_cost_diagonal() const = 0;
+
+  /// True when one simulate_qaoa call already employs the machine's
+  /// parallelism by itself (e.g. the virtual-rank distributed simulator
+  /// spawns a thread per rank), so a batch engine should evaluate
+  /// schedules sequentially rather than thread across them on top.
+  virtual bool prefers_sequential_batches() const { return false; }
 };
 
 /// CPU fast simulator implementing Algorithm 3 over the fur kernels.

@@ -2,16 +2,18 @@
 
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 namespace qokit {
 
-GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
+GridResult grid_search_p1(const BatchEvaluator& evaluator, int gamma_points,
                           int beta_points, double gamma_lo, double gamma_hi,
                           double beta_lo, double beta_hi) {
   if (gamma_points < 1 || beta_points < 1)
     throw std::invalid_argument("grid_search_p1: need >= 1 point per axis");
-  GridResult best;
-  best.value = std::numeric_limits<double>::infinity();
+  // The full grid as one batch, gamma-major (gi outer, bi inner).
+  std::vector<QaoaParams> schedules;
+  schedules.reserve(static_cast<std::size_t>(gamma_points) * beta_points);
   for (int gi = 0; gi < gamma_points; ++gi) {
     const double g =
         gamma_points == 1
@@ -22,14 +24,25 @@ GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
           beta_points == 1
               ? beta_lo
               : beta_lo + (beta_hi - beta_lo) * bi / (beta_points - 1);
-      const double gamma_arr[1] = {g};
-      const double beta_arr[1] = {b};
-      const StateVector r = sim.simulate_qaoa(gamma_arr, beta_arr);
-      const double v = sim.get_expectation(r);
-      if (v < best.value) best = {g, b, v};
+      schedules.push_back(QaoaParams{{g}, {b}});
     }
   }
+  const std::vector<double> values = evaluator.expectations(schedules);
+  // Scan in submission order with strict <: the minimizer (ties included)
+  // is the one a sequential evaluate-and-compare loop would keep.
+  GridResult best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] < best.value)
+      best = {schedules[i].gammas[0], schedules[i].betas[0], values[i]};
   return best;
+}
+
+GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
+                          int beta_points, double gamma_lo, double gamma_hi,
+                          double beta_lo, double beta_hi) {
+  return grid_search_p1(BatchEvaluator(sim), gamma_points, beta_points,
+                        gamma_lo, gamma_hi, beta_lo, beta_hi);
 }
 
 }  // namespace qokit

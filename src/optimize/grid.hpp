@@ -3,9 +3,12 @@
 // The stock initialization for depth-1 QAOA: the p = 1 landscape is cheap
 // to scan with the fast simulator, and the best grid point seeds local
 // optimization or the INTERP ladder. Equivalent to the 2D heatmaps common
-// in QAOA papers.
+// in QAOA papers. The whole grid is one batch: it goes through
+// BatchEvaluator, which shares the precomputed diagonal and scratch state
+// across all points and threads across them when profitable.
 #pragma once
 
+#include "batch/batch_eval.hpp"
 #include "fur/simulator.hpp"
 
 namespace qokit {
@@ -18,8 +21,16 @@ struct GridResult {
 };
 
 /// Evaluate the p = 1 objective on a gamma_points x beta_points grid over
-/// [gamma_lo, gamma_hi] x [beta_lo, beta_hi] and return the minimizer.
+/// [gamma_lo, gamma_hi] x [beta_lo, beta_hi] and return the minimizer
+/// (first strictly-smallest point in gamma-major order, as a sequential
+/// scan would find it).
 GridResult grid_search_p1(const QaoaFastSimulatorBase& sim, int gamma_points,
+                          int beta_points, double gamma_lo, double gamma_hi,
+                          double beta_lo, double beta_hi);
+
+/// Same scan through a caller-owned evaluator (reuses its scratch pool;
+/// useful when the grid seeds further batched optimization).
+GridResult grid_search_p1(const BatchEvaluator& evaluator, int gamma_points,
                           int beta_points, double gamma_lo, double gamma_hi,
                           double beta_lo, double beta_hi);
 

@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace qokit {
+
+namespace detail {
+
+BatchObjectiveFn adapt_scalar_objective(
+    const std::function<double(const std::vector<double>&)>& f) {
+  return [&f](const std::vector<std::vector<double>>& points) {
+    std::vector<double> values;
+    values.reserve(points.size());
+    for (const std::vector<double>& x : points) values.push_back(f(x));
+    return values;
+  };
+}
+
+void check_population_values(const char* where, std::size_t points,
+                             std::size_t values) {
+  if (values != points)
+    throw std::invalid_argument(std::string(where) + ": objective returned " +
+                                std::to_string(values) + " values for " +
+                                std::to_string(points) + " points");
+}
+
+}  // namespace detail
 
 OptResult nelder_mead(
     const std::function<double(const std::vector<double>&)>& f,
     std::vector<double> x0, NelderMeadOptions opts) {
+  // Scalar entry point: adapt f to a population evaluator and run the
+  // batched core. One code path, identical trajectories.
+  return nelder_mead_batched(detail::adapt_scalar_objective(f),
+                             std::move(x0), opts);
+}
+
+OptResult nelder_mead_batched(const BatchObjectiveFn& f,
+                              std::vector<double> x0, NelderMeadOptions opts) {
   const int dim = static_cast<int>(x0.size());
   if (dim == 0) throw std::invalid_argument("nelder_mead: empty x0");
 
@@ -20,19 +51,28 @@ OptResult nelder_mead(
 
   OptResult res;
   int evals = 0;
-  auto eval = [&](const std::vector<double>& x) {
-    ++evals;
-    return f(x);
+  // The callback is arbitrary user code: a wrong-sized return must throw,
+  // not index out of bounds.
+  auto eval_batch = [&](const std::vector<std::vector<double>>& points) {
+    std::vector<double> values = f(points);
+    detail::check_population_values("nelder_mead_batched", points.size(),
+                                    values.size());
+    evals += static_cast<int>(points.size());
+    return values;
+  };
+  auto eval_one = [&](const std::vector<double>& x) {
+    return eval_batch({x}).front();
   };
 
-  // Initial simplex: x0 plus one offset vertex per coordinate.
+  // Initial simplex: x0 plus one offset vertex per coordinate, evaluated
+  // as one batch of dim+1 points.
   std::vector<std::vector<double>> simplex(dim + 1, x0);
   std::vector<double> fv(dim + 1);
   for (int i = 0; i < dim; ++i)
     simplex[i + 1][i] += x0[i] != 0.0 ? opts.initial_step * std::abs(x0[i]) +
                                             opts.initial_step
                                       : opts.initial_step;
-  for (int i = 0; i <= dim; ++i) fv[i] = eval(simplex[i]);
+  fv = eval_batch(simplex);
 
   std::vector<int> order(dim + 1);
   std::vector<double> centroid(dim), xr(dim), xe(dim), xc(dim);
@@ -70,13 +110,13 @@ OptResult nelder_mead(
     // Reflection.
     for (int d = 0; d < dim; ++d)
       xr[d] = centroid[d] + alpha * (centroid[d] - simplex[worst][d]);
-    const double fr = eval(xr);
+    const double fr = eval_one(xr);
 
     if (fr < fv[best]) {
       // Expansion.
       for (int d = 0; d < dim; ++d)
         xe[d] = centroid[d] + beta * (xr[d] - centroid[d]);
-      const double fe = eval(xe);
+      const double fe = eval_one(xe);
       if (fe < fr) {
         simplex[worst] = xe;
         fv[worst] = fe;
@@ -93,20 +133,32 @@ OptResult nelder_mead(
       const std::vector<double>& toward = outside ? xr : simplex[worst];
       for (int d = 0; d < dim; ++d)
         xc[d] = centroid[d] + gamma * (toward[d] - centroid[d]);
-      const double fc = eval(xc);
+      const double fc = eval_one(xc);
       if (fc < std::min(fr, fv[worst])) {
         simplex[worst] = xc;
         fv[worst] = fc;
       } else {
-        // Shrink toward the best vertex.
-        for (int i = 0; i <= dim; ++i) {
+        // Shrink toward the best vertex. The evaluation budget caps how
+        // many shrunk vertices get (re)evaluated -- but always at least
+        // one, and vertices beyond the budget keep their old coordinates
+        // and values: this matches a scalar eval-then-break loop exactly.
+        const int budget = std::clamp(opts.max_evals - evals, 1, dim);
+        std::vector<std::vector<double>> shrunk;
+        std::vector<int> shrunk_index;
+        shrunk.reserve(budget);
+        shrunk_index.reserve(budget);
+        for (int i = 0; i <= dim && static_cast<int>(shrunk.size()) < budget;
+             ++i) {
           if (i == best) continue;
           for (int d = 0; d < dim; ++d)
             simplex[i][d] =
                 simplex[best][d] + delta * (simplex[i][d] - simplex[best][d]);
-          fv[i] = eval(simplex[i]);
-          if (evals >= opts.max_evals) break;
+          shrunk.push_back(simplex[i]);
+          shrunk_index.push_back(i);
         }
+        const std::vector<double> shrunk_values = eval_batch(shrunk);
+        for (std::size_t j = 0; j < shrunk_index.size(); ++j)
+          fv[shrunk_index[j]] = shrunk_values[j];
       }
     }
   }

@@ -30,8 +30,39 @@ struct NelderMeadOptions {
   bool adaptive = true;     ///< dimension-dependent coefficients (Gao-Han)
 };
 
+/// Population evaluator: maps a set of points to their objective values in
+/// the same order. The batched optimizer entry points funnel every
+/// multi-point step through one call, so a BatchEvaluator (or any other
+/// vectorized objective) can evaluate the population in parallel.
+using BatchObjectiveFn =
+    std::function<std::vector<double>(const std::vector<std::vector<double>>&)>;
+
+namespace detail {
+
+/// Adapt a scalar objective to the BatchObjectiveFn shape: points are
+/// evaluated sequentially, in submission order. Captures `f` by
+/// reference -- the adapter must not outlive it.
+BatchObjectiveFn adapt_scalar_objective(
+    const std::function<double(const std::vector<double>&)>& f);
+
+/// Throw std::invalid_argument (naming `where`) unless a population
+/// callback returned exactly one value per submitted point.
+void check_population_values(const char* where, std::size_t points,
+                             std::size_t values);
+
+}  // namespace detail
+
 /// Minimize f starting at x0.
 OptResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
                       std::vector<double> x0, NelderMeadOptions opts = {});
+
+/// Batched Nelder-Mead: the initial simplex (dim+1 points) and each shrink
+/// step (up to dim points) are submitted as single batches; singleton
+/// steps (reflect/expand/contract) go through one-point batches. The
+/// trajectory -- every evaluated point, in order, and all bookkeeping --
+/// is identical to the scalar nelder_mead above, which delegates here.
+OptResult nelder_mead_batched(const BatchObjectiveFn& f,
+                              std::vector<double> x0,
+                              NelderMeadOptions opts = {});
 
 }  // namespace qokit

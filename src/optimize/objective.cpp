@@ -2,11 +2,12 @@
 
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 namespace qokit {
 
 QaoaObjective::QaoaObjective(const QaoaFastSimulatorBase& sim, int p)
-    : sim_(&sim), p_(p) {
+    : sim_(&sim), p_(p), init_(sim.initial_state()) {
   if (p < 1) throw std::invalid_argument("QaoaObjective: p must be >= 1");
 }
 
@@ -16,8 +17,30 @@ double QaoaObjective::operator()(const std::vector<double>& x) const {
   ++evals_;
   const std::span<const double> gammas(x.data(), p_);
   const std::span<const double> betas(x.data() + p_, p_);
-  const StateVector result = sim_->simulate_qaoa(gammas, betas);
-  return sim_->get_expectation(result);
+  // Refill the scratch state from the cached template (a copy-assign that
+  // reuses its buffer) and evolve it in place: after the first call no
+  // statevector is allocated, where simulate_qaoa would allocate and fill
+  // a fresh initial state per evaluation.
+  scratch_ = init_;
+  scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), gammas, betas);
+  return sim_->get_expectation(scratch_);
+}
+
+QaoaBatchObjective::QaoaBatchObjective(const QaoaFastSimulatorBase& sim, int p,
+                                       BatchOptions opts)
+    : evaluator_(sim, opts), p_(p) {
+  if (p < 1) throw std::invalid_argument("QaoaBatchObjective: p must be >= 1");
+}
+
+std::vector<double> QaoaBatchObjective::operator()(
+    const std::vector<std::vector<double>>& points) const {
+  for (const std::vector<double>& x : points)
+    if (static_cast<int>(x.size()) != 2 * p_)
+      throw std::invalid_argument(
+          "QaoaBatchObjective: expected 2p parameters");
+  evals_ += static_cast<int>(points.size());
+  ++batches_;
+  return evaluator_.expectations_packed(points);
 }
 
 }  // namespace qokit

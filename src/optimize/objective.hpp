@@ -3,17 +3,24 @@
 // Wraps any QaoaFastSimulatorBase: the simulator owns the precomputed
 // diagonal, so every call costs p mixer transforms + p phase multiplies +
 // one inner product -- the loop of paper Fig. 1 that the optimizer drives.
+// Both functors reuse scratch statevectors across calls (the evolution is
+// consume-in-place per simulate_qaoa_from's contract), so steady-state
+// evaluation performs zero statevector allocations.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "batch/batch_eval.hpp"
 #include "fur/simulator.hpp"
 
 namespace qokit {
 
-/// Callable objective with evaluation counting.
+/// Callable objective with evaluation counting. Not safe for concurrent
+/// operator() calls on one instance (each instance owns one reused
+/// scratch state, like BatchEvaluator's pool); distinct instances over
+/// the same simulator are independent.
 class QaoaObjective {
  public:
   /// `sim` must outlive the objective. `p` fixes the parameter layout:
@@ -35,6 +42,42 @@ class QaoaObjective {
   const QaoaFastSimulatorBase* sim_;
   int p_;
   mutable int evals_ = 0;
+  StateVector init_;            ///< cached initial state template
+  mutable StateVector scratch_; ///< reused across calls; refilled from init_
+};
+
+/// Population objective for the batched optimizers: evaluates a set of
+/// packed points through one BatchEvaluator submission, sharing the
+/// precomputed diagonal and the per-thread scratch pool across the whole
+/// optimization run. Matches the BatchObjectiveFn shape of
+/// nelder_mead_batched / spsa_batched.
+class QaoaBatchObjective {
+ public:
+  /// `sim` must outlive the objective. `p` fixes the parameter layout.
+  QaoaBatchObjective(const QaoaFastSimulatorBase& sim, int p,
+                     BatchOptions opts = {});
+
+  /// Objective values of a population of packed points (each size 2p),
+  /// in submission order.
+  std::vector<double> operator()(
+      const std::vector<std::vector<double>>& points) const;
+
+  /// Number of simulator invocations (points evaluated) so far.
+  int evaluations() const { return evals_; }
+
+  /// Number of batches submitted so far.
+  int batches() const { return batches_; }
+
+  void reset_count() { evals_ = batches_ = 0; }
+
+  int p() const { return p_; }
+  const BatchEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  BatchEvaluator evaluator_;
+  int p_;
+  mutable int evals_ = 0;
+  mutable int batches_ = 0;
 };
 
 }  // namespace qokit

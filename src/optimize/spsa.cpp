@@ -9,14 +9,30 @@ namespace qokit {
 
 OptResult spsa(const std::function<double(const std::vector<double>&)>& f,
                std::vector<double> x0, SpsaOptions opts) {
+  // Scalar entry point: adapt f to a population evaluator and run the
+  // batched core. One code path, identical trajectories.
+  return spsa_batched(detail::adapt_scalar_objective(f), std::move(x0), opts);
+}
+
+OptResult spsa_batched(const BatchObjectiveFn& f, std::vector<double> x0,
+                       SpsaOptions opts) {
   const std::size_t dim = x0.size();
   if (dim == 0) throw std::invalid_argument("spsa: empty x0");
   Rng rng(opts.seed);
 
+  // The callback is arbitrary user code: a wrong-sized return must throw,
+  // not index out of bounds.
+  auto eval_batch = [&f](const std::vector<std::vector<double>>& points) {
+    std::vector<double> values = f(points);
+    detail::check_population_values("spsa_batched", points.size(),
+                                    values.size());
+    return values;
+  };
+
   OptResult res;
   std::vector<double> xp(dim), xm(dim), delta(dim);
   std::vector<double> best_x = x0;
-  double best_f = f(x0);
+  double best_f = eval_batch({x0}).front();
   int evals = 1;
 
   for (int k = 0; k < opts.max_iterations; ++k) {
@@ -28,12 +44,14 @@ OptResult spsa(const std::function<double(const std::vector<double>&)>& f,
       xp[d] = x0[d] + ck * delta[d];
       xm[d] = x0[d] - ck * delta[d];
     }
-    const double fp = f(xp);
-    const double fm = f(xm);
+    // The two-sided gradient probe is one batch of two schedules.
+    const std::vector<double> probe = eval_batch({xp, xm});
+    const double fp = probe[0];
+    const double fm = probe[1];
     evals += 2;
     for (std::size_t d = 0; d < dim; ++d)
       x0[d] -= ak * (fp - fm) / (2.0 * ck * delta[d]);
-    const double fx = f(x0);
+    const double fx = eval_batch({x0}).front();
     ++evals;
     if (fx < best_f) {
       best_f = fx;

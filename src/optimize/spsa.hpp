@@ -26,4 +26,11 @@ struct SpsaOptions {
 OptResult spsa(const std::function<double(const std::vector<double>&)>& f,
                std::vector<double> x0, SpsaOptions opts = {});
 
+/// Batched SPSA: the two perturbed points of each iteration are submitted
+/// as one batch (the iterate's own re-evaluation stays a one-point batch,
+/// since it depends on them). Same RNG stream and bookkeeping as the
+/// scalar spsa above, which delegates here: trajectories are identical.
+OptResult spsa_batched(const BatchObjectiveFn& f, std::vector<double> x0,
+                       SpsaOptions opts = {});
+
 }  // namespace qokit
