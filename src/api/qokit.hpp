@@ -8,6 +8,7 @@
 
 #include "batch/batch_eval.hpp"
 #include "common/bitops.hpp"
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "diagonal/ops.hpp"

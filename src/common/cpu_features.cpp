@@ -1,0 +1,83 @@
+#include "common/cpu_features.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace qokit {
+namespace {
+
+bool machine_has_avx2_fma() noexcept {
+#if QOKIT_SIMD_X86 && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdLevel clamp_to_available(SimdLevel level) noexcept {
+  if (level == SimdLevel::Avx2 &&
+      (!simd_level_compiled(SimdLevel::Avx2) || !machine_has_avx2_fma()))
+    return SimdLevel::Scalar;
+  return level;
+}
+
+SimdLevel initial_level() noexcept {
+  if (const char* env = std::getenv("QOKIT_SIMD")) {
+    // Case-insensitive so QOKIT_SIMD=OFF (the CMake option's documented
+    // spelling) works at runtime too.
+    char folded[16] = {};
+    for (int i = 0; i < 15 && env[i]; ++i)
+      folded[i] = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(env[i])));
+    if (std::strcmp(folded, "scalar") == 0 || std::strcmp(folded, "off") == 0 ||
+        std::strcmp(folded, "0") == 0)
+      return SimdLevel::Scalar;
+  }
+  return detect_simd_level();
+}
+
+// -1 = not yet initialized; otherwise a SimdLevel value. A relaxed atomic is
+// enough: initialization is idempotent (every racer computes the same level).
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* simd_level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool simd_level_compiled(SimdLevel level) noexcept {
+  if (level == SimdLevel::Scalar) return true;
+#if QOKIT_SIMD_X86
+  return level == SimdLevel::Avx2;
+#else
+  return false;
+#endif
+}
+
+SimdLevel detect_simd_level() noexcept {
+  return clamp_to_available(SimdLevel::Avx2);
+}
+
+SimdLevel active_simd_level() noexcept {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(initial_level());
+    g_active.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+SimdLevel force_simd_level(SimdLevel level) noexcept {
+  const SimdLevel installed = clamp_to_available(level);
+  g_active.store(static_cast<int>(installed), std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace qokit

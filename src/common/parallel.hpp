@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -45,6 +46,58 @@ void parallel_for(Exec exec, std::int64_t begin, std::int64_t end, F&& f) {
   }
   QOKIT_OMP_PRAGMA(omp parallel for schedule(static))
   for (std::int64_t i = begin; i < end; ++i) f(i);
+}
+
+/// Block size (in elements) of the blocked loops below. One block of
+/// complex doubles is 128 KiB — thousands of elements, so the
+/// function-pointer call into the SIMD kernel layer is fully amortized,
+/// while a butterfly pass (which blocks over 2^{n-1} pairs) still exposes
+/// 16+ blocks to threads from n = 18 and elementwise passes from n = 17.
+inline constexpr std::int64_t kSimdBlock = 1 << 13;
+
+/// Apply `f(begin, end)` over consecutive blocks of `block` elements
+/// covering [0, count). The block decomposition is identical for Serial and
+/// Parallel execution, so a kernel that is deterministic per block yields
+/// the same result under either policy and any thread count.
+template <class F>
+void parallel_for_blocks(Exec exec, std::int64_t count, std::int64_t block,
+                         F&& f) {
+  if (count <= 0) return;
+  const std::int64_t nblocks = (count + block - 1) / block;
+  if (exec == Exec::Serial || count < kParallelGrain || nblocks < 2) {
+    for (std::int64_t b = 0; b < nblocks; ++b)
+      f(b * block, b + 1 < nblocks ? (b + 1) * block : count);
+    return;
+  }
+  QOKIT_OMP_PRAGMA(omp parallel for schedule(static))
+  for (std::int64_t b = 0; b < nblocks; ++b)
+    f(b * block, b + 1 < nblocks ? (b + 1) * block : count);
+}
+
+/// Sum of per-block partials `f(begin, end)` over the same decomposition as
+/// parallel_for_blocks. Partials are combined *sequentially in block order*
+/// regardless of execution policy or thread count, so — unlike an OpenMP
+/// `reduction(+)` — the result is a deterministic function of the input and
+/// the block kernel alone.
+template <class F>
+double parallel_reduce_blocks(Exec exec, std::int64_t count,
+                              std::int64_t block, F&& f) {
+  if (count <= 0) return 0.0;
+  const std::int64_t nblocks = (count + block - 1) / block;
+  if (exec == Exec::Serial || count < kParallelGrain || nblocks < 2) {
+    double acc = 0.0;
+    for (std::int64_t b = 0; b < nblocks; ++b)
+      acc += f(b * block, b + 1 < nblocks ? (b + 1) * block : count);
+    return acc;
+  }
+  std::vector<double> partials(static_cast<std::size_t>(nblocks));
+  QOKIT_OMP_PRAGMA(omp parallel for schedule(static))
+  for (std::int64_t b = 0; b < nblocks; ++b)
+    partials[static_cast<std::size_t>(b)] =
+        f(b * block, b + 1 < nblocks ? (b + 1) * block : count);
+  double acc = 0.0;
+  for (double p : partials) acc += p;
+  return acc;
 }
 
 /// Sum of `f(i)` for i in [begin, end).

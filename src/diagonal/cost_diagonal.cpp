@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <vector>
 
 #include "common/bitops.hpp"
 
 namespace qokit {
+
+/// Derived-value cache: filled lazily, at most once per field group.
+struct CostDiagonal::Cache {
+  std::once_flag extrema_once;
+  double min = 0.0;
+  double max = 0.0;
+  std::once_flag sector_once;
+  std::vector<double> sector_min;  // indexed by Hamming weight, size n+1
+};
+
+CostDiagonal::CostDiagonal() : cache_(std::make_shared<Cache>()) {}
+
+CostDiagonal::Cache& CostDiagonal::cache() const {
+  // Every constructed CostDiagonal owns a cache box; a moved-from object
+  // loses it. Recreate on (single-threaded) reuse of such an object.
+  if (!cache_) cache_ = std::make_shared<Cache>();
+  return *cache_;
+}
 
 CostDiagonal CostDiagonal::precompute(const TermList& terms, Exec exec,
                                       PrecomputeStrategy strategy) {
@@ -64,12 +85,36 @@ CostDiagonal CostDiagonal::from_values(int num_qubits,
   return d;
 }
 
-double CostDiagonal::min_value() const {
-  return *std::min_element(values_.begin(), values_.end());
+CostDiagonal::Cache& CostDiagonal::ensure_extrema() const {
+  if (values_.empty()) throw std::logic_error("extrema: empty diagonal");
+  Cache& c = cache();
+  std::call_once(c.extrema_once, [&] {
+    const auto [lo, hi] = std::minmax_element(values_.begin(), values_.end());
+    c.min = *lo;
+    c.max = *hi;
+  });
+  return c;
 }
 
-double CostDiagonal::max_value() const {
-  return *std::max_element(values_.begin(), values_.end());
+double CostDiagonal::min_value() const { return ensure_extrema().min; }
+
+double CostDiagonal::max_value() const { return ensure_extrema().max; }
+
+double CostDiagonal::sector_min(int weight) const {
+  if (values_.empty()) throw std::logic_error("sector_min: empty diagonal");
+  if (weight < 0 || weight > n_)
+    throw std::invalid_argument("sector_min: weight outside [0, n]");
+  Cache& c = cache();
+  std::call_once(c.sector_once, [&] {
+    std::vector<double> m(static_cast<std::size_t>(n_) + 1,
+                          std::numeric_limits<double>::infinity());
+    for (std::uint64_t x = 0; x < values_.size(); ++x) {
+      double& slot = m[static_cast<std::size_t>(popcount(x))];
+      slot = std::min(slot, values_[x]);
+    }
+    c.sector_min = std::move(m);
+  });
+  return c.sector_min[static_cast<std::size_t>(weight)];
 }
 
 std::uint64_t CostDiagonal::ground_state_count(double tol) const {

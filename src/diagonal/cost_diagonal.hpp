@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/aligned.hpp"
 #include "common/parallel.hpp"
@@ -28,7 +29,7 @@ enum class PrecomputeStrategy { ElementMajor, TermMajor };
 /// The 2^n cost vector c_x = f(x).
 class CostDiagonal {
  public:
-  CostDiagonal() = default;
+  CostDiagonal();
 
   /// Precompute from polynomial terms (Eq. 1). Each element is a sum of
   /// weight * (-1)^{popcount(x & mask)} over terms — the bitwise-XOR /
@@ -53,11 +54,19 @@ class CostDiagonal {
   const double* data() const noexcept { return values_.data(); }
   const aligned_vector<double>& values() const noexcept { return values_; }
 
-  /// Minimum cost (the optimal objective value f(x*)).
+  /// Minimum cost (the optimal objective value f(x*)). Computed together
+  /// with the maximum in one scan on first use and cached; the values are
+  /// immutable after construction, so the cache can never go stale.
   double min_value() const;
 
-  /// Maximum cost.
+  /// Maximum cost (cached alongside min_value()).
   double max_value() const;
+
+  /// Minimum cost within the Hamming-weight-`weight` sector (the ground
+  /// value the XY-mixer overlap is measured against). All n+1 sector minima
+  /// are computed in one scan on the first call and cached. Throws
+  /// std::invalid_argument when `weight` is outside [0, num_qubits()].
+  double sector_min(int weight) const;
 
   /// Number of basis states attaining the minimum within `tol`.
   std::uint64_t ground_state_count(double tol = 1e-9) const;
@@ -66,8 +75,16 @@ class CostDiagonal {
   std::uint64_t memory_bytes() const noexcept { return size() * sizeof(double); }
 
  private:
+  struct Cache;
+  Cache& cache() const;
+  Cache& ensure_extrema() const;
+
   int n_ = 0;
   aligned_vector<double> values_;
+  // Lazily filled derived values (extrema, sector minima). Shared between
+  // copies — copies hold identical `values_`, so sharing is safe — and
+  // guarded by std::once_flag, so concurrent readers race benignly.
+  mutable std::shared_ptr<Cache> cache_;
 };
 
 }  // namespace qokit

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "simd/kernels.hpp"
 
 namespace qokit {
 namespace {
@@ -22,24 +23,15 @@ void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
 
 void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
                        double gamma, Exec exec) {
-  parallel_for(exec, 0, static_cast<std::int64_t>(count),
-               [amp, costs, gamma](std::int64_t i) {
-                 const double ang = -gamma * costs[i];
-                 amp[i] *= cdouble(std::cos(ang), std::sin(ang));
-               });
+  simd::apply_phase_slice(amp, costs, count, gamma, exec);
 }
 
 void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
                  Exec exec) {
   check_dims(sv.size(), diag.size(), "apply_phase(u16)");
   const auto lut = diag.phase_table(gamma);
-  cdouble* amp = sv.data();
-  const std::uint16_t* codes = diag.codes();
-  const cdouble* table = lut.data();
-  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
-               [amp, codes, table](std::int64_t i) {
-                 amp[i] *= table[codes[i]];
-               });
+  simd::apply_phase_table(sv.data(), diag.codes(), lut.data(), sv.size(),
+                          exec);
 }
 
 double expectation(const StateVector& sv, const CostDiagonal& diag,
@@ -50,23 +42,14 @@ double expectation(const StateVector& sv, const CostDiagonal& diag,
 
 double expectation_slice(const cdouble* amp, const double* costs,
                          std::uint64_t count, Exec exec) {
-  return parallel_reduce_sum(
-      exec, 0, static_cast<std::int64_t>(count),
-      [amp, costs](std::int64_t i) { return std::norm(amp[i]) * costs[i]; });
+  return simd::expectation_slice(amp, costs, count, exec);
 }
 
 double expectation(const StateVector& sv, const DiagonalU16& diag,
                    Exec exec) {
   check_dims(sv.size(), diag.size(), "expectation(u16)");
-  const cdouble* amp = sv.data();
-  const std::uint16_t* codes = diag.codes();
-  const double off = diag.offset();
-  const double sc = diag.scale();
-  return parallel_reduce_sum(exec, 0, static_cast<std::int64_t>(sv.size()),
-                             [amp, codes, off, sc](std::int64_t i) {
-                               return std::norm(amp[i]) *
-                                      (off + sc * codes[i]);
-                             });
+  return simd::expectation_u16(sv.data(), diag.codes(), diag.offset(),
+                               diag.scale(), sv.size(), exec);
 }
 
 double expectation_terms(const StateVector& sv, const TermList& terms,
@@ -93,34 +76,34 @@ double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
                       double tol, Exec exec) {
   check_dims(sv.size(), diag.size(), "overlap_ground");
   const double lo = diag.min_value();
-  const cdouble* amp = sv.data();
-  const double* c = diag.data();
-  return parallel_reduce_sum(
-      exec, 0, static_cast<std::int64_t>(sv.size()),
-      [amp, c, lo, tol](std::int64_t i) {
-        return c[i] <= lo + tol ? std::norm(amp[i]) : 0.0;
-      });
+  return simd::overlap_ground(sv.data(), diag.data(), lo + tol, sv.size(),
+                              exec);
 }
 
 double overlap_ground_sector(const StateVector& sv, const CostDiagonal& diag,
-                             int weight, double tol) {
+                             int weight, double tol, Exec exec) {
   check_dims(sv.size(), diag.size(), "overlap_ground_sector");
-  double lo = 0.0;
-  bool found = false;
-  for (std::uint64_t x = 0; x < diag.size(); ++x) {
-    if (popcount(x) != weight) continue;
-    if (!found || diag[x] < lo) {
-      lo = diag[x];
-      found = true;
-    }
-  }
-  if (!found)
+  if (weight < 0 || weight > diag.num_qubits())
     throw std::invalid_argument("overlap_ground_sector: empty weight sector");
-  double mass = 0.0;
-  for (std::uint64_t x = 0; x < diag.size(); ++x)
-    if (popcount(x) == weight && diag[x] <= lo + tol)
-      mass += std::norm(sv[x]);
-  return mass;
+  // The per-weight minimum is cached inside the diagonal (one scan for all
+  // weights on first use), leaving a single filtered-reduction pass here.
+  const double lo = diag.sector_min(weight);
+  const cdouble* amp = sv.data();
+  const double* c = diag.data();
+  const double threshold = lo + tol;
+  // Block-ordered reduction (not an OpenMP reduction) so the result is
+  // independent of thread count, matching the simd-layer determinism
+  // contract the other overlap/expectation paths follow.
+  return parallel_reduce_blocks(
+      exec, static_cast<std::int64_t>(sv.size()), kSimdBlock,
+      [amp, c, weight, threshold](std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t i = b; i < e; ++i)
+          if (popcount(static_cast<std::uint64_t>(i)) == weight &&
+              c[i] <= threshold)
+            acc += std::norm(amp[i]);
+        return acc;
+      });
 }
 
 }  // namespace qokit

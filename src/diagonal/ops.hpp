@@ -53,9 +53,12 @@ double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
 
 /// Sector-restricted ground-state overlap: the minimum is taken within the
 /// Hamming-weight-`weight` slice (xy mixers never leave it). Throws
-/// std::invalid_argument if the sector is empty. Shared by every simulator
-/// backend so the sector semantics cannot drift between them.
+/// std::invalid_argument if the sector is empty (weight outside [0, n]).
+/// Shared by every simulator backend so the sector semantics cannot drift
+/// between them. The sector minimum is cached in `diag` on first use; the
+/// remaining single pass honors `exec`.
 double overlap_ground_sector(const StateVector& sv, const CostDiagonal& diag,
-                             int weight, double tol = 1e-9);
+                             int weight, double tol = 1e-9,
+                             Exec exec = Exec::Parallel);
 
 }  // namespace qokit

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "fur/su2.hpp"
+#include "simd/kernels.hpp"
 
 namespace qokit {
 
@@ -16,15 +17,17 @@ void apply_mixer_x_fwht(StateVector& sv, double beta, Exec exec) {
   const int n = sv.num_qubits();
   fwht(sv, exec);
   // In the Hadamard frame the mixer is diagonal with eigenvalue
-  // sum_i (1 - 2 b_i) = n - 2 popcount(x) on basis state x.
-  cdouble* amp = sv.data();
-  parallel_for(exec, 0, static_cast<std::int64_t>(sv.size()),
-               [amp, beta, n](std::int64_t i) {
-                 const double lam =
-                     n - 2 * popcount(static_cast<std::uint64_t>(i));
-                 const double ang = -beta * lam;
-                 amp[i] *= cdouble(std::cos(ang), std::sin(ang));
-               });
+  // sum_i (1 - 2 b_i) = n - 2 popcount(x) on basis state x — only n + 1
+  // distinct phase factors, so build them once and gather by weight
+  // instead of paying a sin/cos per amplitude. Fixed-size table (bounded
+  // by the StateVector qubit ceiling) keeps this allocation-free for the
+  // scratch-pinning contracts of the batch engine.
+  cdouble table[kMaxQubits + 1];
+  for (int w = 0; w <= n; ++w) {
+    const double ang = -beta * (n - 2 * w);
+    table[w] = cdouble(std::cos(ang), std::sin(ang));
+  }
+  simd::apply_phase_popcount(sv.data(), 0, sv.size(), table, exec);
   fwht(sv, exec);
 }
 

@@ -84,7 +84,8 @@ double FurQaoaSimulator::get_expectation(const StateVector& result) const {
 double FurQaoaSimulator::get_overlap(const StateVector& result,
                                      int restrict_weight) const {
   if (restrict_weight < 0) return overlap_ground(result, diag_, 1e-9, cfg_.exec);
-  return overlap_ground_sector(result, diag_, restrict_weight);
+  return overlap_ground_sector(result, diag_, restrict_weight, 1e-9,
+                               cfg_.exec);
 }
 
 const DiagonalU16& FurQaoaSimulator::diagonal_u16() const {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "simd/kernels.hpp"
 
 namespace qokit {
 namespace kern {
@@ -29,37 +30,14 @@ void su2(cdouble* x, std::uint64_t n_amps, int qubit, const Su2& u,
 
 void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
         Exec exec) {
-  // e^{-i beta X}: y0 = c x0 - i s x1, y1 = -i s x0 + c x1. In real
-  // arithmetic on re/im parts this is four FMAs per pair and vectorizes.
-  double* d = reinterpret_cast<double*>(x);
-  const std::int64_t pairs = static_cast<std::int64_t>(n_amps >> 1);
-  const std::uint64_t stride = 1ull << qubit;
-  parallel_for(exec, 0, pairs, [=](std::int64_t k) {
-    const std::uint64_t i0 =
-        insert_zero_bit(static_cast<std::uint64_t>(k), qubit) << 1;
-    const std::uint64_t i1 = i0 + (stride << 1);
-    const double x0re = d[i0], x0im = d[i0 + 1];
-    const double x1re = d[i1], x1im = d[i1 + 1];
-    d[i0] = c * x0re + s * x1im;
-    d[i0 + 1] = c * x0im - s * x1re;
-    d[i1] = c * x1re + s * x0im;
-    d[i1 + 1] = c * x1im - s * x0re;
-  });
+  // e^{-i beta X}: y0 = c x0 - i s x1, y1 = -i s x0 + c x1. Routed through
+  // the dispatched butterfly kernels (simd/kernels.hpp): in-register
+  // shuffles for qubit 0, contiguous dual-pointer streams above.
+  simd::rx(x, n_amps, qubit, c, s, exec);
 }
 
 void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
-  constexpr double kInvSqrt2 = 0.70710678118654752440;
-  const std::int64_t pairs = static_cast<std::int64_t>(n_amps >> 1);
-  const std::uint64_t stride = 1ull << qubit;
-  parallel_for(exec, 0, pairs, [=](std::int64_t k) {
-    const std::uint64_t i0 = insert_zero_bit(static_cast<std::uint64_t>(k),
-                                             qubit);
-    const std::uint64_t i1 = i0 | stride;
-    const cdouble x0 = x[i0];
-    const cdouble x1 = x[i1];
-    x[i0] = (x0 + x1) * kInvSqrt2;
-    x[i1] = (x0 - x1) * kInvSqrt2;
-  });
+  simd::hadamard(x, n_amps, qubit, exec);
 }
 
 }  // namespace kern

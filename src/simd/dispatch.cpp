@@ -1,0 +1,119 @@
+// Kernel dispatch + parallel decomposition. The public simd:: entry points
+// split work into fixed kSimdBlock-element blocks (identical for Serial and
+// Parallel execution) and drive the active kernel family over each block;
+// reduction partials are combined sequentially in block order. This is the
+// single place where Exec policy, OpenMP, and the dispatch level meet — the
+// kernel families themselves are branch-free straight-line loops.
+#include "simd/kernels.hpp"
+
+namespace qokit {
+namespace simd {
+
+namespace detail {
+
+const Kernels& active_kernels() noexcept {
+#if QOKIT_SIMD_X86
+  if (active_simd_level() == SimdLevel::Avx2) return avx2_kernels;
+#endif
+  return scalar_kernels;
+}
+
+}  // namespace detail
+
+void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
+                      [&](std::int64_t b, std::int64_t e) {
+                        k.phase(amp + b, costs + b,
+                                static_cast<std::uint64_t>(e - b), gamma);
+                      });
+}
+
+void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
+                       const cdouble* table, std::uint64_t count, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
+                      [&](std::int64_t b, std::int64_t e) {
+                        k.phase_table(amp + b, codes + b, table,
+                                      static_cast<std::uint64_t>(e - b));
+                      });
+}
+
+void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
+                          std::uint64_t count, const cdouble* table,
+                          Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
+                      [&](std::int64_t b, std::int64_t e) {
+                        k.phase_popcount(amp + b, index_base + b,
+                                         static_cast<std::uint64_t>(e - b),
+                                         table);
+                      });
+}
+
+void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
+                      kSimdBlock, [&](std::int64_t b, std::int64_t e) {
+                        k.rx_pairs(x, qubit, static_cast<std::uint64_t>(b),
+                                   static_cast<std::uint64_t>(e), c, s);
+                      });
+}
+
+void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
+                      kSimdBlock, [&](std::int64_t b, std::int64_t e) {
+                        k.hadamard_pairs(x, qubit,
+                                         static_cast<std::uint64_t>(b),
+                                         static_cast<std::uint64_t>(e));
+                      });
+}
+
+double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  return parallel_reduce_blocks(
+      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      [&](std::int64_t b, std::int64_t e) {
+        return k.expectation(amp + b, costs + b,
+                             static_cast<std::uint64_t>(e - b));
+      });
+}
+
+double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
+                       double offset, double scale, std::uint64_t count,
+                       Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  return parallel_reduce_blocks(
+      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      [&](std::int64_t b, std::int64_t e) {
+        return k.expectation_u16(amp + b, codes + b, offset, scale,
+                                 static_cast<std::uint64_t>(e - b));
+      });
+}
+
+double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  return parallel_reduce_blocks(
+      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      [&](std::int64_t b, std::int64_t e) {
+        return k.norm_squared(amp + b, static_cast<std::uint64_t>(e - b));
+      });
+}
+
+double overlap_ground(const cdouble* amp, const double* costs,
+                      double threshold, std::uint64_t count, Exec exec) {
+  const detail::Kernels& k = detail::active_kernels();
+  return parallel_reduce_blocks(
+      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      [&](std::int64_t b, std::int64_t e) {
+        return k.overlap(amp + b, costs + b, threshold,
+                         static_cast<std::uint64_t>(e - b));
+      });
+}
+
+}  // namespace simd
+}  // namespace qokit

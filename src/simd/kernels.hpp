@@ -1,0 +1,109 @@
+// Runtime-dispatched vector kernels for the simulator hot loops.
+//
+// Every elementwise pass in Algorithm 3 funnels through this layer: the
+// diagonal phase multiply (double-cost, u16-table, and popcount-table
+// variants), the fused single-qubit mixer butterflies (rx, hadamard), and
+// the expectation / norm / ground-overlap reductions. Each kernel exists in
+// a scalar family (kernels_scalar.cpp, portable C++) and an AVX2+FMA family
+// (kernels_avx2.cpp, compiled only under QOKIT_SIMD on x86-64); dispatch is
+// chosen once per process via CPUID (common/cpu_features.hpp).
+//
+// Parallelism and determinism: the dispatcher decomposes work into fixed
+// kSimdBlock-element blocks (common/parallel.hpp) and hands each block to
+// the active kernel family. Reductions sum per-block partials sequentially
+// in block order. Consequently results depend only on (input, dispatch
+// level) — not on Exec policy or thread count — and the serial and threaded
+// backends stay bit-identical to each other at every dispatch level.
+//
+// Callers (diagonal/ops.cpp, fur/su2.cpp, fur/fwht.cpp, statevector/
+// state.cpp) keep their public signatures, so the dist:K rank-local slices
+// and the batch engine's scratch states inherit the vectorization with zero
+// API change.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cpu_features.hpp"
+#include "common/parallel.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit {
+namespace simd {
+
+/// amp[i] *= e^{-i gamma costs[i]}: batched angle computation with a
+/// vectorized sin/cos under AVX2, libm per element in the scalar family.
+void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec);
+
+/// amp[i] *= table[codes[i]]: the u16 diagonal's table-driven phase pass.
+/// `table` must hold one phase factor per possible code (built per gamma).
+void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
+                       const cdouble* table, std::uint64_t count, Exec exec);
+
+/// amp[j] *= table[popcount(index_base + j)]: the Hadamard-frame diagonal of
+/// the FWHT mixer path, with one table entry per Hamming weight.
+void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
+                          std::uint64_t count, const cdouble* table,
+                          Exec exec);
+
+/// In-place e^{-i beta X_qubit} butterfly with c = cos(beta), s = sin(beta).
+void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec);
+
+/// In-place Hadamard butterfly on one qubit.
+void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec);
+
+/// sum_i |amp[i]|^2 costs[i].
+double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec);
+
+/// sum_i |amp[i]|^2 (offset + scale * codes[i]).
+double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
+                       double offset, double scale, std::uint64_t count,
+                       Exec exec);
+
+/// sum_i |amp[i]|^2.
+double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec);
+
+/// sum of |amp[i]|^2 over elements with costs[i] <= threshold.
+double overlap_ground(const cdouble* amp, const double* costs,
+                      double threshold, std::uint64_t count, Exec exec);
+
+namespace detail {
+
+/// One kernel family: block-range entry points the dispatcher drives.
+/// Elementwise/reduction kernels receive already-offset pointers and a
+/// count; butterfly kernels receive the full array plus a pair-index range
+/// [kb, ke) (pair k touches amplitudes insert_zero_bit(k, qubit) and its
+/// partner at stride 2^qubit).
+struct Kernels {
+  void (*phase)(cdouble* amp, const double* costs, std::uint64_t count,
+                double gamma);
+  void (*phase_table)(cdouble* amp, const std::uint16_t* codes,
+                      const cdouble* table, std::uint64_t count);
+  void (*phase_popcount)(cdouble* amp, std::uint64_t index_base,
+                         std::uint64_t count, const cdouble* table);
+  void (*rx_pairs)(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
+                   double c, double s);
+  void (*hadamard_pairs)(cdouble* x, int qubit, std::uint64_t kb,
+                         std::uint64_t ke);
+  double (*expectation)(const cdouble* amp, const double* costs,
+                        std::uint64_t count);
+  double (*expectation_u16)(const cdouble* amp, const std::uint16_t* codes,
+                            double offset, double scale, std::uint64_t count);
+  double (*norm_squared)(const cdouble* amp, std::uint64_t count);
+  double (*overlap)(const cdouble* amp, const double* costs, double threshold,
+                    std::uint64_t count);
+};
+
+extern const Kernels scalar_kernels;
+#if QOKIT_SIMD_X86
+extern const Kernels avx2_kernels;
+#endif
+
+/// Family for the current active_simd_level().
+const Kernels& active_kernels() noexcept;
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace qokit

@@ -1,0 +1,374 @@
+// AVX2+FMA kernel family. This translation unit is compiled with
+// -mavx2 -mfma (set per-file by CMake when QOKIT_SIMD is ON and the target
+// is x86-64) and contributes nothing to the build otherwise; dispatch picks
+// it at runtime only when CPUID reports both extensions.
+//
+// Numerics: the phase kernel computes e^{-i gamma c} with an in-register
+// sin/cos (Cody–Waite quadrant reduction + Cephes minimax polynomials,
+// ~1 ulp over the reduced range, |angle| up to 1e9 with a libm fallback
+// beyond). Reductions keep four independent accumulator lanes per block and
+// collapse them in a fixed order, so every result is a deterministic
+// function of the input alone. The parity suite pins both families to each
+// other within 1e-12 per amplitude.
+#include "simd/kernels.hpp"
+
+#if QOKIT_SIMD_X86
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hpp"
+
+namespace qokit {
+namespace simd {
+namespace {
+
+// ------------------------------------------------------------- sin/cos
+// Three-term Cody–Waite split of pi/2 (Cephes DP1..DP3 doubled). Each
+// k*DPx product is formed inside a single-rounding fnmadd, so the
+// reduction error is dominated by the residual pi/2 - (DP1+DP2+DP3)
+// (~3e-22): at the kHugeAngle bound (|k| ~ 6.4e8) the reduced argument is
+// off by at most ~2e-13 absolute, inside the layer's 1e-12 parity budget;
+// for the |angle| <~ 1e4 regime real gammas produce it is ~1e-18.
+constexpr double kDP1 = 1.57079625129699707031e+00;
+constexpr double kDP2 = 7.54978941586159635335e-08;
+constexpr double kDP3 = 5.39030285815811905290e-15;
+constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+// Beyond this magnitude the int32 quadrant index could overflow; the caller
+// falls back to libm for the whole 4-lane group (never hit by sane gammas).
+constexpr double kHugeAngle = 1.0e9;
+
+// Cephes minimax coefficients for sin/cos on |r| <= pi/4 (highest first).
+constexpr double kSinCof[6] = {
+    1.58962301576546568060e-10, -2.50507477628578072866e-8,
+    2.75573136213857245213e-6,  -1.98412698295895385996e-4,
+    8.33333333332211858878e-3,  -1.66666666666666307295e-1,
+};
+constexpr double kCosCof[6] = {
+    -1.13585365213876817300e-11, 2.08757008419747316778e-9,
+    -2.75573141792967388112e-7,  2.48015872888517179954e-5,
+    -1.38888888888730564116e-3,  4.16666666666665929218e-2,
+};
+
+inline __m256d poly6(__m256d z, const double (&c)[6]) {
+  __m256d p = _mm256_set1_pd(c[0]);
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(c[1]));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(c[2]));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(c[3]));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(c[4]));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(c[5]));
+  return p;
+}
+
+/// Four simultaneous sin/cos. Precondition: every |x| <= kHugeAngle.
+inline void sincos4(__m256d x, __m256d* s_out, __m256d* c_out) {
+  // Quadrant index k = round(x * 2/pi) and reduced argument r in
+  // [-pi/4, pi/4] via the three-term split.
+  const __m256d k = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kTwoOverPi)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kDP1), x);
+  r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kDP2), r);
+  r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kDP3), r);
+
+  const __m256i q = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(k));
+
+  const __m256d z = _mm256_mul_pd(r, r);
+  // sin(r) = r + r z P(z);  cos(r) = 1 - z/2 + z^2 Q(z).
+  const __m256d sin_r =
+      _mm256_fmadd_pd(_mm256_mul_pd(poly6(z, kSinCof), z), r, r);
+  const __m256d cos_r = _mm256_fmadd_pd(
+      poly6(z, kCosCof), _mm256_mul_pd(z, z),
+      _mm256_fnmadd_pd(_mm256_set1_pd(0.5), z, _mm256_set1_pd(1.0)));
+
+  // Quadrant fixup: q&1 swaps sin/cos; q&2 flips sin; (q+1)&2 flips cos.
+  const __m256d swap = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+      _mm256_and_si256(q, _mm256_set1_epi64x(1)), _mm256_set1_epi64x(1)));
+  const __m256d sin_sign = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_and_si256(q, _mm256_set1_epi64x(2)), 62));
+  const __m256d cos_sign = _mm256_castsi256_pd(_mm256_slli_epi64(
+      _mm256_and_si256(_mm256_add_epi64(q, _mm256_set1_epi64x(1)),
+                       _mm256_set1_epi64x(2)),
+      62));
+  *s_out = _mm256_xor_pd(_mm256_blendv_pd(sin_r, cos_r, swap), sin_sign);
+  *c_out = _mm256_xor_pd(_mm256_blendv_pd(cos_r, sin_r, swap), cos_sign);
+}
+
+// ------------------------------------------------- complex-multiply bits
+// Interleaved packed complex layout: one __m256d holds [re0, im0, re1, im1].
+
+/// (a * f) for interleaved a and broadcast factor halves f_re = [c,c,c',c'],
+/// f_im = [s,s,s',s']: fmaddsub gives re = ar*c - ai*s, im = ai*c + ar*s.
+inline __m256d cmul_bcast(__m256d a, __m256d f_re, __m256d f_im) {
+  const __m256d a_sw = _mm256_permute_pd(a, 0x5);  // [im0, re0, im1, re1]
+  return _mm256_fmaddsub_pd(a, f_re, _mm256_mul_pd(a_sw, f_im));
+}
+
+/// Sign mask flipping the odd (imaginary-slot) lanes.
+inline __m256d neg_odd() { return _mm256_setr_pd(0.0, -0.0, 0.0, -0.0); }
+
+// Tail/fallback elements run the *scalar family's* function (compiled
+// without FMA contraction in its own TU), so they match the scalar dispatch
+// level bit-for-bit — a local loop here would contract differently.
+void phase_scalar_tail(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma) {
+  if (count) detail::scalar_kernels.phase(amp, costs, count, gamma);
+}
+
+// --------------------------------------------------------------- kernels
+
+void phase_avx2(cdouble* amp, const double* costs, std::uint64_t count,
+                double gamma) {
+  double* d = reinterpret_cast<double*>(amp);
+  const __m256d vng = _mm256_set1_pd(-gamma);
+  const __m256d vhuge = _mm256_set1_pd(kHugeAngle);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d ang = _mm256_mul_pd(vng, _mm256_loadu_pd(costs + i));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(_mm256_and_pd(ang, abs_mask), vhuge,
+                                         _CMP_GT_OQ))) {
+      phase_scalar_tail(amp + i, costs + i, 4, gamma);
+      continue;
+    }
+    __m256d vs, vc;
+    sincos4(ang, &vs, &vc);
+    // Spread [c0,c1,c2,c3] into per-complex broadcast halves.
+    const __m256d f01_re = _mm256_permute4x64_pd(vc, 0x50);  // [c0,c0,c1,c1]
+    const __m256d f01_im = _mm256_permute4x64_pd(vs, 0x50);
+    const __m256d f23_re = _mm256_permute4x64_pd(vc, 0xFA);  // [c2,c2,c3,c3]
+    const __m256d f23_im = _mm256_permute4x64_pd(vs, 0xFA);
+    const __m256d a01 = _mm256_loadu_pd(d + 2 * i);
+    const __m256d a23 = _mm256_loadu_pd(d + 2 * i + 4);
+    _mm256_storeu_pd(d + 2 * i, cmul_bcast(a01, f01_re, f01_im));
+    _mm256_storeu_pd(d + 2 * i + 4, cmul_bcast(a23, f23_re, f23_im));
+  }
+  phase_scalar_tail(amp + i, costs + i, count - i, gamma);
+}
+
+inline __m256d load_factor_pair(const cdouble* f0, const cdouble* f1) {
+  return _mm256_set_m128d(
+      _mm_loadu_pd(reinterpret_cast<const double*>(f1)),
+      _mm_loadu_pd(reinterpret_cast<const double*>(f0)));
+}
+
+/// amp[i] *= f_i for two complex at a time, factors fetched by the caller.
+inline void table_mul2(double* d, std::uint64_t i, __m256d f) {
+  const __m256d f_re = _mm256_movedup_pd(f);        // [re0, re0, re1, re1]
+  const __m256d f_im = _mm256_permute_pd(f, 0xF);   // [im0, im0, im1, im1]
+  const __m256d a = _mm256_loadu_pd(d + 2 * i);
+  _mm256_storeu_pd(d + 2 * i, cmul_bcast(a, f_re, f_im));
+}
+
+void phase_table_avx2(cdouble* amp, const std::uint16_t* codes,
+                      const cdouble* table, std::uint64_t count) {
+  double* d = reinterpret_cast<double*>(amp);
+  std::uint64_t i = 0;
+  for (; i + 2 <= count; i += 2)
+    table_mul2(d, i, load_factor_pair(table + codes[i], table + codes[i + 1]));
+  for (; i < count; ++i) amp[i] *= table[codes[i]];
+}
+
+void phase_popcount_avx2(cdouble* amp, std::uint64_t index_base,
+                         std::uint64_t count, const cdouble* table) {
+  double* d = reinterpret_cast<double*>(amp);
+  std::uint64_t i = 0;
+  for (; i + 2 <= count; i += 2)
+    table_mul2(d, i,
+               load_factor_pair(table + popcount(index_base + i),
+                                table + popcount(index_base + i + 1)));
+  for (; i < count; ++i) amp[i] *= table[popcount(index_base + i)];
+}
+
+void rx_pairs_avx2(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
+                   double c, double s) {
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m256d nodd = neg_odd();
+  double* d = reinterpret_cast<double*>(x);
+  if (qubit == 0) {
+    // Pair (x0, x1) is one register: [r0, i0, r1, i1]. The cross-partner
+    // operand [i1, -r1, i0, -r0] is a full-register lane reversal + sign.
+    for (std::uint64_t k = kb; k < ke; ++k) {
+      const __m256d a = _mm256_loadu_pd(d + 4 * k);
+      const __m256d m =
+          _mm256_xor_pd(_mm256_permute4x64_pd(a, 0x1B), nodd);
+      _mm256_storeu_pd(d + 4 * k,
+                       _mm256_fmadd_pd(vc, a, _mm256_mul_pd(vs, m)));
+    }
+    return;
+  }
+  // qubit >= 1: pairs form two contiguous streams of `stride` amplitudes.
+  const std::uint64_t stride = 1ull << qubit;
+  std::uint64_t k = kb;
+  while (k < ke) {
+    const std::uint64_t off = k & (stride - 1);
+    const std::uint64_t run = std::min(ke - k, stride - off);
+    double* p0 = reinterpret_cast<double*>(x + insert_zero_bit(k, qubit));
+    double* p1 = p0 + 2 * stride;
+    std::uint64_t j = 0;
+    for (; j + 2 <= run; j += 2) {
+      const __m256d a = _mm256_loadu_pd(p0 + 2 * j);
+      const __m256d b = _mm256_loadu_pd(p1 + 2 * j);
+      const __m256d mb = _mm256_xor_pd(_mm256_permute_pd(b, 0x5), nodd);
+      const __m256d ma = _mm256_xor_pd(_mm256_permute_pd(a, 0x5), nodd);
+      _mm256_storeu_pd(p0 + 2 * j,
+                       _mm256_fmadd_pd(vc, a, _mm256_mul_pd(vs, mb)));
+      _mm256_storeu_pd(p1 + 2 * j,
+                       _mm256_fmadd_pd(vc, b, _mm256_mul_pd(vs, ma)));
+    }
+    // Odd-pair remainder: delegate to the scalar family (same tail policy
+    // as the phase kernel — a local loop here would FMA-contract).
+    if (j < run) detail::scalar_kernels.rx_pairs(x, qubit, k + j, k + run, c, s);
+    k += run;
+  }
+}
+
+void hadamard_pairs_avx2(cdouble* x, int qubit, std::uint64_t kb,
+                         std::uint64_t ke) {
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  const __m256d vk = _mm256_set1_pd(kInvSqrt2);
+  double* d = reinterpret_cast<double*>(x);
+  if (qubit == 0) {
+    for (std::uint64_t k = kb; k < ke; ++k) {
+      const __m256d a = _mm256_loadu_pd(d + 4 * k);
+      const __m256d b = _mm256_permute2f128_pd(a, a, 0x01);
+      // Lanes 0-1: x0 + x1; lanes 2-3: x0 - x1 (note b - a has the partner
+      // first in the high half, giving the required x0 - x1 order).
+      const __m256d out = _mm256_blend_pd(_mm256_add_pd(a, b),
+                                          _mm256_sub_pd(b, a), 0xC);
+      _mm256_storeu_pd(d + 4 * k, _mm256_mul_pd(out, vk));
+    }
+    return;
+  }
+  const std::uint64_t stride = 1ull << qubit;
+  std::uint64_t k = kb;
+  while (k < ke) {
+    const std::uint64_t off = k & (stride - 1);
+    const std::uint64_t run = std::min(ke - k, stride - off);
+    double* p0 = reinterpret_cast<double*>(x + insert_zero_bit(k, qubit));
+    double* p1 = p0 + 2 * stride;
+    std::uint64_t j = 0;
+    for (; j + 2 <= run; j += 2) {
+      const __m256d a = _mm256_loadu_pd(p0 + 2 * j);
+      const __m256d b = _mm256_loadu_pd(p1 + 2 * j);
+      _mm256_storeu_pd(p0 + 2 * j,
+                       _mm256_mul_pd(_mm256_add_pd(a, b), vk));
+      _mm256_storeu_pd(p1 + 2 * j,
+                       _mm256_mul_pd(_mm256_sub_pd(a, b), vk));
+    }
+    if (j < run)
+      detail::scalar_kernels.hadamard_pairs(x, qubit, k + j, k + run);
+    k += run;
+  }
+}
+
+// ------------------------------------------------------------ reductions
+// |amp|^2 for four complex: squares, then horizontal pair-add. hadd of the
+// two square registers yields lane order [n0, n2, n1, n3]; cost/value
+// registers are permuted with 0xD8 ([v0, v2, v1, v3]) to match.
+
+inline __m256d norms4(const double* d, std::uint64_t i) {
+  const __m256d a01 = _mm256_loadu_pd(d + 2 * i);
+  const __m256d a23 = _mm256_loadu_pd(d + 2 * i + 4);
+  return _mm256_hadd_pd(_mm256_mul_pd(a01, a01), _mm256_mul_pd(a23, a23));
+}
+
+/// Fixed-order horizontal sum: (l0 + l2) + (l1 + l3).
+inline double hsum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+double expectation_avx2(const cdouble* amp, const double* costs,
+                        std::uint64_t count) {
+  const double* d = reinterpret_cast<const double*>(amp);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d cp =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(costs + i), 0xD8);
+    acc = _mm256_fmadd_pd(norms4(d, i), cp, acc);
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i) out += std::norm(amp[i]) * costs[i];
+  return out;
+}
+
+double expectation_u16_avx2(const cdouble* amp, const std::uint16_t* codes,
+                            double offset, double scale, std::uint64_t count) {
+  const double* d = reinterpret_cast<const double*>(amp);
+  const __m256d voff = _mm256_set1_pd(offset);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i c16 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256d vals = _mm256_fmadd_pd(
+        vscale, _mm256_cvtepi32_pd(_mm_cvtepu16_epi32(c16)), voff);
+    acc = _mm256_fmadd_pd(norms4(d, i), _mm256_permute4x64_pd(vals, 0xD8),
+                          acc);
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i)
+    out += std::norm(amp[i]) * (offset + scale * codes[i]);
+  return out;
+}
+
+double norm_squared_avx2(const cdouble* amp, std::uint64_t count) {
+  const double* d = reinterpret_cast<const double*>(amp);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) acc = _mm256_add_pd(acc, norms4(d, i));
+  double out = hsum(acc);
+  for (; i < count; ++i) out += std::norm(amp[i]);
+  return out;
+}
+
+double overlap_avx2(const cdouble* amp, const double* costs, double threshold,
+                    std::uint64_t count) {
+  const double* d = reinterpret_cast<const double*>(amp);
+  const __m256d vthr = _mm256_set1_pd(threshold);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d cp =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(costs + i), 0xD8);
+    const __m256d mask = _mm256_cmp_pd(cp, vthr, _CMP_LE_OQ);
+    acc = _mm256_add_pd(acc, _mm256_and_pd(norms4(d, i), mask));
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i)
+    if (costs[i] <= threshold) out += std::norm(amp[i]);
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+const Kernels avx2_kernels = {
+    phase_avx2,          phase_table_avx2, phase_popcount_avx2,
+    rx_pairs_avx2,       hadamard_pairs_avx2,
+    expectation_avx2,    expectation_u16_avx2,
+    norm_squared_avx2,   overlap_avx2,
+};
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace qokit
+
+#else  // !QOKIT_SIMD_X86
+
+// Scalar-only build: this family is absent and dispatch never selects it.
+namespace qokit {
+namespace simd {}
+}  // namespace qokit
+
+#endif  // QOKIT_SIMD_X86

@@ -9,31 +9,43 @@ StateSampler::StateSampler(const StateVector& sv) {
   cumulative_.resize(sv.size());
   double acc = 0.0;
   for (std::uint64_t x = 0; x < sv.size(); ++x) {
-    acc += std::norm(sv[x]);
+    const double p = std::norm(sv[x]);
+    if (p > 0.0) last_nonzero_ = x;
+    acc += p;
     cumulative_[x] = acc;
   }
   if (acc <= 0.0)
     throw std::invalid_argument("StateSampler: zero-norm state");
 }
 
-std::uint64_t StateSampler::sample(Rng& rng) const {
-  const double u = rng.uniform() * cumulative_.back();
+std::uint64_t StateSampler::sample_from_uniform(double u01) const {
+  const double u = u01 * cumulative_.back();
   const auto it =
       std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
-  return static_cast<std::uint64_t>(
-      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
-                               static_cast<std::ptrdiff_t>(
-                                   cumulative_.size()) - 1));
+  // upper_bound never lands on a zero-probability index mid-table (its
+  // cumulative value equals its predecessor's, so it is never the *first*
+  // entry exceeding u). The end() case — u at or beyond the total mass,
+  // reachable when rounding pushes u01 * total up to the total — must clamp
+  // to the last index with nonzero probability, not the last index overall.
+  if (it == cumulative_.end()) return last_nonzero_;
+  return static_cast<std::uint64_t>(it - cumulative_.begin());
+}
+
+std::uint64_t StateSampler::sample(Rng& rng) const {
+  return sample_from_uniform(rng.uniform());
 }
 
 std::vector<std::uint64_t> StateSampler::sample(int shots, Rng& rng) const {
-  std::vector<std::uint64_t> out(shots);
+  if (shots < 0) throw std::invalid_argument("sample: shots must be >= 0");
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(shots));
   for (auto& x : out) x = sample(rng);
   return out;
 }
 
 std::map<std::uint64_t, int> StateSampler::sample_counts(int shots,
                                                          Rng& rng) const {
+  if (shots < 0)
+    throw std::invalid_argument("sample_counts: shots must be >= 0");
   std::map<std::uint64_t, int> counts;
   for (int s = 0; s < shots; ++s) ++counts[sample(rng)];
   return counts;

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -27,14 +28,23 @@ class StateSampler {
   /// One measurement outcome.
   std::uint64_t sample(Rng& rng) const;
 
-  /// `shots` independent outcomes.
+  /// `shots` independent outcomes. Throws std::invalid_argument for
+  /// negative `shots`; zero shots returns an empty vector.
   std::vector<std::uint64_t> sample(int shots, Rng& rng) const;
 
-  /// Histogram of `shots` outcomes (bitstring -> count).
+  /// Histogram of `shots` outcomes (bitstring -> count). Throws
+  /// std::invalid_argument for negative `shots`.
   std::map<std::uint64_t, int> sample_counts(int shots, Rng& rng) const;
+
+  /// The outcome for a given uniform variate u in [0, 1]: inverse-CDF
+  /// lookup. Exposed so edge cases (u rounding up to the full mass with
+  /// trailing zero-probability states) are directly testable; guaranteed to
+  /// return an index with nonzero probability.
+  std::uint64_t sample_from_uniform(double u01) const;
 
  private:
   std::vector<double> cumulative_;
+  std::uint64_t last_nonzero_ = 0;  ///< largest index with |amp|^2 > 0
 };
 
 /// Convenience wrapper: build a sampler and draw `shots` outcomes.
@@ -49,11 +59,17 @@ struct SampledExpectation {
   int shots = 0;
 };
 
-/// Estimate <f> by measuring `shots` bitstrings and averaging f(x).
+/// Estimate <f> by measuring `shots` bitstrings and averaging f(x). Throws
+/// std::invalid_argument for negative `shots`; zero shots returns the
+/// well-defined empty estimate {mean 0, std_error 0, shots 0}.
 template <class CostFn>
 SampledExpectation estimate_expectation_sampled(const StateVector& sv,
                                                 CostFn&& f, int shots,
                                                 Rng& rng) {
+  if (shots < 0)
+    throw std::invalid_argument(
+        "estimate_expectation_sampled: shots must be >= 0");
+  if (shots == 0) return SampledExpectation{};
   StateSampler sampler(sv);
   double sum = 0.0, sum_sq = 0.0;
   for (int s = 0; s < shots; ++s) {

@@ -4,11 +4,12 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "simd/kernels.hpp"
 
 namespace qokit {
 
 StateVector::StateVector(int num_qubits) : n_(num_qubits) {
-  if (num_qubits < 0 || num_qubits > 34)
+  if (num_qubits < 0 || num_qubits > kMaxQubits)
     throw std::invalid_argument("StateVector: unsupported qubit count");
   amp_.assign(dim_of(num_qubits), cdouble(0.0, 0.0));
 }
@@ -41,9 +42,7 @@ StateVector StateVector::dicke_state(int num_qubits, int weight) {
 }
 
 double StateVector::norm_squared(Exec exec) const {
-  const cdouble* a = amp_.data();
-  return parallel_reduce_sum(exec, 0, static_cast<std::int64_t>(size()),
-                             [a](std::int64_t i) { return std::norm(a[i]); });
+  return simd::norm_squared(amp_.data(), size(), exec);
 }
 
 void StateVector::normalize() {

@@ -16,6 +16,10 @@ namespace qokit {
 
 using cdouble = std::complex<double>;
 
+/// Largest supported qubit count for an in-memory state vector (2^34
+/// amplitudes = 256 GiB); also sizes fixed per-weight tables (fwht mixer).
+inline constexpr int kMaxQubits = 34;
+
 /// Owning 2^n-amplitude state vector.
 class StateVector {
  public:

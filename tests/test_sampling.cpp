@@ -66,6 +66,41 @@ TEST(Sampler, ThrowsOnZeroState) {
   EXPECT_THROW(StateSampler{sv}, std::invalid_argument);
 }
 
+TEST(Sampler, TrailingZeroAmplitudesNeverSampled) {
+  // Regression: a uniform variate at (or rounding up to) the full mass
+  // used to clamp to the last index overall, which could be a
+  // zero-probability state when the trailing amplitudes are zero.
+  StateVector sv(4);
+  sv[2] = cdouble(0.8, 0.0);
+  sv[5] = cdouble(0.0, 0.6);  // indices 6..15 stay zero
+  const StateSampler sampler(sv);
+  EXPECT_EQ(sampler.sample_from_uniform(1.0), 5u);
+  EXPECT_EQ(sampler.sample_from_uniform(std::nextafter(1.0, 0.0)), 5u);
+  Rng rng(11);
+  for (int s = 0; s < 1000; ++s) {
+    const std::uint64_t x = sampler.sample(rng);
+    EXPECT_TRUE(x == 2u || x == 5u) << x;
+  }
+}
+
+TEST(Sampler, ShotCountsValidated) {
+  const StateVector sv = StateVector::plus_state(3);
+  const StateSampler sampler(sv);
+  Rng rng(12);
+  EXPECT_THROW(sampler.sample(-1, rng), std::invalid_argument);
+  EXPECT_THROW(sampler.sample_counts(-1, rng), std::invalid_argument);
+  EXPECT_THROW(sample_states(sv, -3, rng), std::invalid_argument);
+  EXPECT_TRUE(sampler.sample(0, rng).empty());
+  EXPECT_TRUE(sampler.sample_counts(0, rng).empty());
+  const auto f = [](std::uint64_t) { return 1.0; };
+  EXPECT_THROW(estimate_expectation_sampled(sv, f, -1, rng),
+               std::invalid_argument);
+  const SampledExpectation z = estimate_expectation_sampled(sv, f, 0, rng);
+  EXPECT_EQ(z.shots, 0);
+  EXPECT_EQ(z.mean, 0.0);
+  EXPECT_EQ(z.std_error, 0.0);
+}
+
 TEST(Sampler, QaoaSamplesConcentrateOnGoodCuts) {
   // After a few optimized-ish layers, sampled cuts must on average beat
   // the random-assignment baseline |E|/2 -- the sampling-based estimator

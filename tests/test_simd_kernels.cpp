@@ -1,0 +1,351 @@
+// Parity suite for the runtime-dispatched SIMD kernel layer: every
+// dispatched kernel must agree with the scalar family within 1e-12 per
+// amplitude, across all qubit positions, both Exec policies, and the
+// table-driven u16/popcount paths. Also holds the determinism contract
+// (Serial == Parallel bitwise at a fixed dispatch level) and the sampler
+// edge-case regressions from the hot-path bugfix sweep.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "diagonal/cost_diagonal.hpp"
+#include "diagonal/diagonal_u16.hpp"
+#include "diagonal/ops.hpp"
+#include "fur/fwht.hpp"
+#include "fur/simulator.hpp"
+#include "fur/su2.hpp"
+#include "problems/labs.hpp"
+#include "simd/kernels.hpp"
+#include "statevector/sampling.hpp"
+
+namespace qokit {
+namespace {
+
+/// Restores the dispatch level that was active at test entry (which may be
+/// a QOKIT_SIMD=scalar override, not the detected level).
+struct SimdLevelGuard {
+  SimdLevel entry = active_simd_level();
+  ~SimdLevelGuard() { force_simd_level(entry); }
+};
+
+bool has_vector_level() {
+  return detect_simd_level() != SimdLevel::Scalar;
+}
+
+StateVector random_state(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  StateVector sv(n);
+  for (std::uint64_t i = 0; i < sv.size(); ++i)
+    sv[i] = cdouble(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  sv.normalize();
+  return sv;
+}
+
+aligned_vector<double> random_costs(int n, std::uint64_t seed, double lo,
+                                    double hi) {
+  Rng rng(seed);
+  aligned_vector<double> costs(dim_of(n));
+  for (double& c : costs) c = rng.uniform(lo, hi);
+  return costs;
+}
+
+void expect_states_close(const StateVector& a, const StateVector& b,
+                         double tol, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_LE(a.max_abs_diff(b), tol) << what;
+}
+
+constexpr Exec kExecs[] = {Exec::Serial, Exec::Parallel};
+
+TEST(SimdDispatch, LevelIsConsistent) {
+  SimdLevelGuard guard;
+  EXPECT_TRUE(simd_level_compiled(SimdLevel::Scalar));
+  const SimdLevel detected = detect_simd_level();
+  if (detected == SimdLevel::Avx2) {
+    EXPECT_TRUE(simd_level_compiled(SimdLevel::Avx2));
+  }
+  // Forcing scalar always succeeds; forcing the detected level restores it.
+  EXPECT_EQ(force_simd_level(SimdLevel::Scalar), SimdLevel::Scalar);
+  EXPECT_EQ(force_simd_level(detected), detected);
+  EXPECT_EQ(active_simd_level(), detected);
+}
+
+TEST(SimdPhase, DispatchedMatchesScalar) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  // n = 15 (2^15 elements) spans four kSimdBlock = 2^13 blocks; n = 9
+  // exercises the sub-block and vector-tail paths.
+  for (int n : {9, 15}) {
+    const auto costs = random_costs(n, 11, -40.0, 40.0);
+    for (double gamma : {0.37, -2.9, 123.456}) {
+      for (Exec exec : kExecs) {
+        StateVector a = random_state(n, 21);
+        StateVector b = a;
+        force_simd_level(SimdLevel::Scalar);
+        apply_phase_slice(a.data(), costs.data(), a.size(), gamma, exec);
+        force_simd_level(detect_simd_level());
+        apply_phase_slice(b.data(), costs.data(), b.size(), gamma, exec);
+        expect_states_close(a, b, 1e-12, "phase");
+      }
+    }
+  }
+}
+
+TEST(SimdPhase, HugeAnglesFallBackToLibm) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  // |gamma * cost| beyond the vector sincos range must take the libm
+  // fallback: groups where every angle is huge match the scalar family
+  // exactly, mixed groups stay within the 1e-12 parity bound.
+  const auto huge = random_costs(10, 13, 1.1e9, 3.0e9);
+  StateVector a = random_state(10, 23);
+  StateVector b = a;
+  force_simd_level(SimdLevel::Scalar);
+  apply_phase_slice(a.data(), huge.data(), a.size(), 1.0, Exec::Serial);
+  force_simd_level(detect_simd_level());
+  apply_phase_slice(b.data(), huge.data(), b.size(), 1.0, Exec::Serial);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+
+  const auto mixed = random_costs(10, 15, -3.0e9, 3.0e9);
+  StateVector c = random_state(10, 25);
+  StateVector d = c;
+  force_simd_level(SimdLevel::Scalar);
+  apply_phase_slice(c.data(), mixed.data(), c.size(), 1.0, Exec::Serial);
+  force_simd_level(detect_simd_level());
+  apply_phase_slice(d.data(), mixed.data(), d.size(), 1.0, Exec::Serial);
+  expect_states_close(c, d, 1e-12, "phase-mixed-huge");
+}
+
+TEST(SimdPhase, U16TablePathMatchesScalar) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const int n = 12;
+  // Integral spectrum so the u16 codec is exact.
+  auto costs = random_costs(n, 17, -100.0, 100.0);
+  for (double& c : costs) c = std::round(c);
+  const auto diag = CostDiagonal::from_values(n, std::move(costs));
+  const auto d16 = DiagonalU16::encode(diag);
+  ASSERT_TRUE(d16.is_exact());
+  for (Exec exec : kExecs) {
+    StateVector a = random_state(n, 29);
+    StateVector b = a;
+    force_simd_level(SimdLevel::Scalar);
+    apply_phase(a, d16, 0.81, exec);
+    force_simd_level(detect_simd_level());
+    apply_phase(b, d16, 0.81, exec);
+    expect_states_close(a, b, 1e-12, "phase-u16");
+  }
+}
+
+TEST(SimdPhase, PopcountTableMatchesScalar) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const int n = 11;
+  aligned_vector<cdouble> table(static_cast<std::size_t>(n) + 1);
+  for (int w = 0; w <= n; ++w) {
+    const double ang = 0.3 * w - 0.7;
+    table[w] = cdouble(std::cos(ang), std::sin(ang));
+  }
+  // Nonzero index_base mimics a distributed rank slice.
+  for (std::uint64_t base : {0ull, 12345ull}) {
+    StateVector a = random_state(n, 31);
+    StateVector b = a;
+    force_simd_level(SimdLevel::Scalar);
+    simd::apply_phase_popcount(a.data(), base, a.size(), table.data(),
+                               Exec::Serial);
+    force_simd_level(detect_simd_level());
+    simd::apply_phase_popcount(b.data(), base, b.size(), table.data(),
+                               Exec::Serial);
+    expect_states_close(a, b, 1e-12, "phase-popcount");
+  }
+}
+
+TEST(SimdButterflies, RxMatchesScalarAtEveryQubit) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const int n = 12;
+  const double c = std::cos(0.42), s = std::sin(0.42);
+  for (int q = 0; q < n; ++q) {
+    for (Exec exec : kExecs) {
+      StateVector a = random_state(n, 37 + q);
+      StateVector b = a;
+      force_simd_level(SimdLevel::Scalar);
+      kern::rx(a.data(), a.size(), q, c, s, exec);
+      force_simd_level(detect_simd_level());
+      kern::rx(b.data(), b.size(), q, c, s, exec);
+      expect_states_close(a, b, 1e-12, "rx");
+    }
+  }
+}
+
+TEST(SimdButterflies, HadamardMatchesScalarAtEveryQubit) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const int n = 12;
+  for (int q = 0; q < n; ++q) {
+    for (Exec exec : kExecs) {
+      StateVector a = random_state(n, 41 + q);
+      StateVector b = a;
+      force_simd_level(SimdLevel::Scalar);
+      kern::hadamard(a.data(), a.size(), q, exec);
+      force_simd_level(detect_simd_level());
+      kern::hadamard(b.data(), b.size(), q, exec);
+      expect_states_close(a, b, 1e-12, "hadamard");
+    }
+  }
+}
+
+TEST(SimdButterflies, FwhtMixerMatchesScalar) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  for (Exec exec : kExecs) {
+    StateVector a = random_state(13, 43);
+    StateVector b = a;
+    force_simd_level(SimdLevel::Scalar);
+    apply_mixer_x_fwht(a, 0.77, exec);
+    force_simd_level(detect_simd_level());
+    apply_mixer_x_fwht(b, 0.77, exec);
+    expect_states_close(a, b, 1e-11, "fwht-mixer");
+  }
+}
+
+TEST(SimdReductions, MatchScalar) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const int n = 14;
+  const StateVector sv = random_state(n, 47);
+  auto costs = random_costs(n, 53, -60.0, 60.0);
+  for (double& c : costs) c = std::round(c);
+  const auto diag = CostDiagonal::from_values(n, std::move(costs));
+  const auto d16 = DiagonalU16::encode(diag);
+  for (Exec exec : kExecs) {
+    force_simd_level(SimdLevel::Scalar);
+    const double e_s = expectation(sv, diag, exec);
+    const double e16_s = expectation(sv, d16, exec);
+    const double n_s = sv.norm_squared(exec);
+    const double o_s = overlap_ground(sv, diag, 2.5, exec);
+    force_simd_level(detect_simd_level());
+    EXPECT_NEAR(expectation(sv, diag, exec), e_s, 1e-12 * 60.0);
+    EXPECT_NEAR(expectation(sv, d16, exec), e16_s, 1e-12 * 60.0);
+    EXPECT_NEAR(sv.norm_squared(exec), n_s, 1e-12);
+    EXPECT_NEAR(overlap_ground(sv, diag, 2.5, exec), o_s, 1e-12);
+  }
+}
+
+TEST(SimdReductions, SerialAndParallelAreBitIdentical) {
+  // The blocked reduction combines per-block partials in block order
+  // regardless of Exec policy or thread count, so Serial and Parallel must
+  // agree bitwise at any fixed dispatch level.
+  SimdLevelGuard guard;
+  const int n = 17;  // above the parallel grain: OpenMP actually engages
+  const StateVector sv = random_state(n, 59);
+  const auto diag = CostDiagonal::from_values(n, random_costs(n, 61, -5, 5));
+  EXPECT_EQ(expectation(sv, diag, Exec::Serial),
+            expectation(sv, diag, Exec::Parallel));
+  EXPECT_EQ(sv.norm_squared(Exec::Serial), sv.norm_squared(Exec::Parallel));
+  StateVector a = sv;
+  StateVector b = sv;
+  apply_phase(a, diag, 0.9, Exec::Serial);
+  apply_phase(b, diag, 0.9, Exec::Parallel);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0);
+}
+
+TEST(SimdEndToEnd, SimulatorBackendsMatchScalarDispatch) {
+  if (!has_vector_level()) GTEST_SKIP() << "scalar-only build/host";
+  SimdLevelGuard guard;
+  const TermList terms = labs_terms(10);
+  const std::vector<double> gammas = {0.3, -0.8, 0.45};
+  const std::vector<double> betas = {0.7, 0.2, -0.55};
+  for (const char* name : {"serial", "threaded", "u16", "fwht"}) {
+    force_simd_level(SimdLevel::Scalar);
+    const auto sim_s = choose_simulator(terms, name);
+    const StateVector r_s = sim_s->simulate_qaoa(gammas, betas);
+    const double e_s = sim_s->get_expectation(r_s);
+    const double o_s = sim_s->get_overlap(r_s);
+    force_simd_level(detect_simd_level());
+    const auto sim_v = choose_simulator(terms, name);
+    const StateVector r_v = sim_v->simulate_qaoa(gammas, betas);
+    EXPECT_LE(r_s.max_abs_diff(r_v), 1e-11) << name;
+    EXPECT_NEAR(sim_v->get_expectation(r_v), e_s, 1e-10) << name;
+    EXPECT_NEAR(sim_v->get_overlap(r_v), o_s, 1e-10) << name;
+  }
+}
+
+// ------------------------------------------------ sector-overlap bugfix
+
+TEST(OverlapSector, MatchesBruteForceAndExecModes) {
+  const int n = 10;
+  const auto diag = CostDiagonal::from_values(n, random_costs(n, 67, -9, 9));
+  const StateVector sv = random_state(n, 71);
+  for (int weight : {0, 3, n}) {
+    // Brute-force reference: the pre-fix two-scan semantics.
+    double lo = 0.0;
+    bool found = false;
+    for (std::uint64_t x = 0; x < diag.size(); ++x) {
+      if (popcount(x) != weight) continue;
+      if (!found || diag[x] < lo) {
+        lo = diag[x];
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found);
+    double mass = 0.0;
+    for (std::uint64_t x = 0; x < diag.size(); ++x)
+      if (popcount(x) == weight && diag[x] <= lo + 1e-9)
+        mass += std::norm(sv[x]);
+    EXPECT_EQ(diag.sector_min(weight), lo);
+    EXPECT_NEAR(overlap_ground_sector(sv, diag, weight, 1e-9, Exec::Serial),
+                mass, 1e-13);
+    EXPECT_NEAR(overlap_ground_sector(sv, diag, weight, 1e-9, Exec::Parallel),
+                mass, 1e-13);
+  }
+  // Cached second call returns the identical value.
+  EXPECT_EQ(diag.sector_min(3), diag.sector_min(3));
+  EXPECT_THROW(overlap_ground_sector(sv, diag, -1), std::invalid_argument);
+  EXPECT_THROW(overlap_ground_sector(sv, diag, n + 1), std::invalid_argument);
+}
+
+// --------------------------------------------------- sampler regressions
+
+TEST(SamplerRegression, FullMassVariateClampsToLastNonzeroState) {
+  // Trailing amplitudes are zero: u = 1.0 lands past the final cumulative
+  // entry and must not select a zero-probability bitstring (the pre-fix
+  // clamp picked the last index overall).
+  StateVector sv(3);
+  sv[1] = cdouble(std::sqrt(0.5), 0.0);
+  sv[3] = cdouble(0.0, std::sqrt(0.5));
+  const StateSampler sampler(sv);
+  EXPECT_EQ(sampler.sample_from_uniform(1.0), 3u);
+  EXPECT_EQ(sampler.sample_from_uniform(std::nextafter(1.0, 0.0)), 3u);
+  EXPECT_EQ(sampler.sample_from_uniform(0.0), 1u);
+  Rng rng(73);
+  for (int s = 0; s < 2000; ++s) {
+    const std::uint64_t x = sampler.sample(rng);
+    EXPECT_TRUE(x == 1u || x == 3u) << x;
+  }
+}
+
+TEST(SamplerRegression, ShotCountValidation) {
+  const StateVector sv = StateVector::plus_state(4);
+  const StateSampler sampler(sv);
+  Rng rng(79);
+  EXPECT_THROW(sampler.sample(-1, rng), std::invalid_argument);
+  EXPECT_THROW(sampler.sample_counts(-5, rng), std::invalid_argument);
+  EXPECT_TRUE(sampler.sample(0, rng).empty());
+  EXPECT_TRUE(sampler.sample_counts(0, rng).empty());
+  const auto f = [](std::uint64_t x) { return static_cast<double>(x); };
+  EXPECT_THROW(estimate_expectation_sampled(sv, f, -2, rng),
+               std::invalid_argument);
+  const SampledExpectation zero = estimate_expectation_sampled(sv, f, 0, rng);
+  EXPECT_EQ(zero.shots, 0);
+  EXPECT_EQ(zero.mean, 0.0);
+  EXPECT_EQ(zero.std_error, 0.0);
+}
+
+}  // namespace
+}  // namespace qokit
