@@ -11,8 +11,9 @@
 //              diagonal is amortized but every call allocates and fills a
 //              fresh initial state, and kernels rely on inner (per-call)
 //              parallelism only.
-//   batched    BatchEvaluator: shared diagonal, reusable scratch states,
-//              outer schedule-parallelism when the heuristic picks it.
+//   batched    one ProblemSession (the public serving handle): shared
+//              diagonal, reusable scratch states, outer schedule-
+//              parallelism when the BatchEvaluator heuristic picks it.
 //
 // Standalone binary (WallTimer, not google/benchmark) so it can emit the
 // JSON the CI/throughput tracking consumes. Acceptance target: batched
@@ -90,15 +91,15 @@ int main() {
     loop_values = std::move(values);
   });
 
-  const BatchEvaluator evaluator(shared);
+  const api::ProblemSession session(terms);
   std::vector<double> batch_values;
   const double batched_s =
-      time_best(3, [&] { batch_values = evaluator.expectations(schedules); });
+      time_best(3, [&] { batch_values = session.expectations(schedules); });
 
   bool agree = loop_values == batch_values;
   for (std::size_t i = 0; i < ref_values.size() && agree; ++i)
     agree = ref_values[i] == loop_values[i];
-  const auto mode = evaluator.resolve_parallelism(schedules.size());
+  const auto mode = session.batch().resolve_parallelism(schedules.size());
 
   const double per_query_tput = kBatchSize / per_query_s;
   const double loop_tput = kBatchSize / loop_s;

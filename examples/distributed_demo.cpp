@@ -1,8 +1,11 @@
 // Distributed simulation demo (paper Sec. III-C, Algorithm 4).
 //
 // Runs the same LABS QAOA over 1..8 virtual ranks with both alltoall
-// transports, verifies every configuration agrees with the single-node
-// simulator bit-for-bit (to fp tolerance), and prints per-layer timings.
+// transports -- each configuration a ProblemSession built from the typed
+// spec the "dist:K:strategy" spelling parses into -- verifies every
+// configuration agrees with the single-node simulator bit-for-bit (to fp
+// tolerance), and prints per-layer timings from the session's Timings
+// block.
 #include <cstdio>
 
 #include "api/qokit.hpp"
@@ -14,28 +17,28 @@ int main() {
   const TermList terms = labs_terms(n);
   const QaoaParams params = linear_ramp(2, 0.9);
 
-  const FurQaoaSimulator single(terms, {});
-  const StateVector reference =
-      single.simulate_qaoa(params.gammas, params.betas);
-  const double e_ref = single.get_expectation(reference);
+  const api::ProblemSession single(terms, SimulatorSpec::parse("threaded"));
+  const StateVector reference = single.simulate(params);
+  const double e_ref = single.simulator().get_expectation(reference);
   std::printf("single-node reference: n = %d, p = %d, <E> = %.6f\n", n,
               params.p(), e_ref);
 
-  std::printf("%6s %10s %14s %14s %12s\n", "K", "strategy", "<E>", "max|diff|",
+  std::printf("%22s %14s %14s %12s\n", "spec", "<E>", "max|diff|",
               "time (s)");
   for (int k : {1, 2, 4, 8}) {
-    for (const auto strategy :
-         {AlltoallStrategy::Staged, AlltoallStrategy::Pairwise}) {
-      const DistributedFurSimulator sim(terms,
-                                        {.ranks = k, .strategy = strategy});
+    for (const char* strategy : {"staged", "pairwise"}) {
+      char name[48];
+      std::snprintf(name, sizeof name, "dist:%d:%s", k, strategy);
+      const api::ProblemSession session(terms, SimulatorSpec::parse(name));
+      // One evolution per configuration: keep the state for the
+      // cross-check and score it through the session's simulator.
       WallTimer timer;
-      const StateVector result =
-          sim.simulate_qaoa(params.gammas, params.betas);
+      const StateVector state = session.simulate(params);
       const double secs = timer.seconds();
-      const double e = sim.get_expectation(result);
-      std::printf("%6d %10s %14.6f %14.3e %12.4f\n", k,
-                  strategy == AlltoallStrategy::Staged ? "staged" : "pairwise",
-                  e, result.max_abs_diff(reference), secs);
+      std::printf("%22s %14.6f %14.3e %12.4f\n",
+                  session.spec().to_string().c_str(),
+                  session.simulator().get_expectation(state),
+                  state.max_abs_diff(reference), secs);
     }
   }
   std::printf("all configurations must agree to ~1e-12.\n");

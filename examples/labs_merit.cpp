@@ -4,9 +4,11 @@
 // LABS phases oscillate fast (cost range ~n^2), so raw linear ramps do
 // little; the workflow that works -- and the one the simulator is built to
 // make cheap -- is optimizing the schedule at each depth and climbing p
-// with the INTERP ladder. This example reports the optimized energy, the
-// merit factor implied by it, and the probability of measuring an optimal
-// sequence, per depth.
+// with the INTERP ladder. One ProblemSession serves the whole ladder:
+// optimization populations and the per-depth overlap queries all reuse
+// its precomputed diagonal. This example reports the optimized energy,
+// the merit factor implied by it, and the probability of measuring an
+// optimal sequence, per depth.
 #include <cstdio>
 
 #include "api/qokit.hpp"
@@ -15,38 +17,41 @@ int main() {
   using namespace qokit;
 
   const int n = 14;
-  const TermList terms = labs_terms(n);
-  const auto sim = choose_simulator(terms, "auto");
-  const CostDiagonal& diag = sim->get_cost_diagonal();
+  const api::ProblemSession session = api::ProblemSession::labs(n);
+  const CostDiagonal& diag = session.cost_diagonal();
   const double e_min = diag.min_value();
   const double uniform =
       static_cast<double>(diag.ground_state_count()) / diag.size();
 
   std::printf("LABS n = %d: |T| = %zu terms, optimal E = %.0f (known: %d), "
               "degenerate optima: %llu\n",
-              n, terms.size(), e_min, labs_known_optimum(n),
+              n, session.terms().size(), e_min, labs_known_optimum(n),
               static_cast<unsigned long long>(diag.ground_state_count()));
   std::printf("merit factor of the optimum: %.4f\n", n * n / (2.0 * e_min));
   std::printf("%4s %12s %12s %14s %8s\n", "p", "<E>", "merit F",
               "P(optimal)", "evals");
   std::printf("%4d %12.4f %12.4f %14.3e %8s   (uniform superposition)\n", 0,
-              terms.offset(), n * n / (2.0 * terms.offset()), uniform, "-");
+              session.terms().offset(),
+              n * n / (2.0 * session.terms().offset()), uniform, "-");
 
   QaoaParams params = linear_ramp(1, 0.9);
   for (double& g : params.gammas) g *= 0.1;  // gamma ~ 1 / range(C)
+  api::EvalRequest overlap_query;
+  overlap_query.expectation = false;
+  overlap_query.overlap = true;
   int total_evals = 0;
   for (int p = 1; p <= 6; ++p) {
-    QaoaObjective objective(*sim, p);
-    const OptResult r = nelder_mead(
-        [&objective](const std::vector<double>& x) { return objective(x); },
-        params.flatten(), {.max_evals = 300});
-    total_evals += objective.evaluations();
-    const QaoaParams best = QaoaParams::unflatten(r.x);
-    const StateVector result = sim->simulate_qaoa(best.gammas, best.betas);
-    std::printf("%4d %12.4f %12.4f %14.3e %8d\n", p, r.fval,
-                n * n / (2.0 * r.fval), sim->get_overlap(result),
-                objective.evaluations());
-    params = interp_to_next_depth(best);
+    api::OptimizerSpec optimizer;
+    optimizer.p = p;
+    optimizer.initial = params;
+    optimizer.nelder_mead = {.max_evals = 300};
+    const api::EvalResult r = session.optimize(optimizer);
+    total_evals += *r.evaluations;
+    const api::EvalResult at_best = session.evaluate(*r.params, overlap_query);
+    std::printf("%4d %12.4f %12.4f %14.3e %8d\n", p, *r.expectation,
+                n * n / (2.0 * *r.expectation), *at_best.overlap,
+                *r.evaluations);
+    params = interp_to_next_depth(*r.params);
   }
   std::printf("total simulator evaluations: %d (why fast objective "
               "evaluation matters)\n",

@@ -1,8 +1,9 @@
 // Constrained portfolio optimization with the Hamming-weight-preserving
 // xy-ring mixer (paper Sec. III-B / Listing 2).
 //
-// Selecting exactly K of n assets: the state starts in the Dicke state
-// |D_n^K> and every mixer application stays inside the budget sector, so
+// Selecting exactly K of n assets: the ProblemSession::portfolio builder
+// defaults the spec to the ring-XY mixer started from the Dicke state
+// |D_n^K>, so every mixer application stays inside the budget sector and
 // no penalty terms are needed. Reports the probability of sampling the
 // true optimal portfolio after optimization.
 #include <cstdio>
@@ -19,27 +20,31 @@ int main() {
   std::printf("portfolio: n = %d assets, budget K = %d, optimum f = %.6f\n", n,
               budget, best_value);
 
-  const TermList terms = portfolio_terms(inst);
-  FurQaoaSimulator sim(terms, {.mixer = MixerType::XYRing,
-                               .initial_weight = budget});
+  // Builder defaults: mixer=xyring, weight=budget (Listing 2 semantics).
+  const api::ProblemSession session = api::ProblemSession::portfolio(inst);
+  std::printf("session spec: %s\n", session.spec().to_string().c_str());
 
-  const int p = 3;
-  QaoaObjective objective(sim, p);
-  const OptResult r = nelder_mead(
-      [&objective](const std::vector<double>& x) { return objective(x); },
-      linear_ramp(p, 0.7).flatten(), {.max_evals = 500});
+  api::OptimizerSpec optimizer;
+  optimizer.p = 3;
+  optimizer.initial = linear_ramp(3, 0.7);
+  optimizer.nelder_mead = {.max_evals = 500};
+  const api::EvalResult r = session.optimize(optimizer);
 
-  const QaoaParams params = QaoaParams::unflatten(r.x);
-  const StateVector result = sim.simulate_qaoa(params.gammas, params.betas);
+  const StateVector result = session.simulate(*r.params);
+  api::EvalRequest sector_query;
+  sector_query.expectation = false;
+  sector_query.overlap = true;
+  sector_query.overlap_weight = budget;  // in-sector ground overlap
+  const api::EvalResult sector = session.evaluate(*r.params, sector_query);
 
-  std::printf("optimized <f> = %.6f after %d evaluations\n", r.fval,
-              objective.evaluations());
+  std::printf("optimized <f> = %.6f after %d evaluations\n", *r.expectation,
+              *r.evaluations);
   std::printf("budget-sector mass = %.9f (must be 1: mixer is HW-preserving)\n",
               result.weight_sector_mass(budget));
   std::printf("P(optimal portfolio) = %.4f  (uniform in-sector: %.4f)\n",
               std::norm(result[best_x]),
               1.0 / 495.0 /* C(12,4) */);
-  std::printf("in-sector ground overlap via API: %.4f\n",
-              sim.get_overlap(result, budget));
+  std::printf("in-sector ground overlap via the session API: %.4f\n",
+              *sector.overlap);
   return 0;
 }

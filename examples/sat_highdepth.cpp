@@ -4,9 +4,10 @@
 // cheap high-depth simulation).
 //
 // Sweeps depth with a fixed linear-ramp schedule on a random 3-SAT
-// instance near the satisfiability threshold and reports the probability
-// of measuring a satisfying assignment; then demonstrates sampling
-// assignments from the evolved state.
+// instance near the satisfiability threshold through one ProblemSession
+// (the depth sweep re-simulates, never re-precomputes), reports the
+// probability of measuring a satisfying assignment per depth, then
+// demonstrates seeded sampling of assignments from the evolved state.
 #include <cstdio>
 
 #include "api/qokit.hpp"
@@ -18,33 +19,34 @@ int main() {
   const int m = static_cast<int>(4.0 * n);  // clause ratio ~ threshold 4.27
   const SatInstance inst = random_ksat(n, 3, m, /*seed=*/11);
 
-  const TermList terms = sat_terms(inst);
-  const auto sim = choose_simulator(terms);
-  const CostDiagonal& d = sim->get_cost_diagonal();
+  SimulatorSpec spec;  // default backend, explicit sampling seed
+  spec.sample_seed = 5;
+  const api::ProblemSession session = api::ProblemSession::sat(inst, spec);
+  const CostDiagonal& d = session.cost_diagonal();
   std::uint64_t sat_count = 0;
   for (std::uint64_t x = 0; x < d.size(); ++x)
     if (d[x] < 0.5) ++sat_count;
   std::printf("random 3-SAT: n = %d vars, m = %d clauses, |T| = %zu terms\n",
-              n, m, terms.size());
+              n, m, session.terms().size());
   std::printf("satisfying assignments: %llu of 2^%d (uniform hit rate "
               "%.2e)\n",
               static_cast<unsigned long long>(sat_count), n,
               static_cast<double>(sat_count) / d.size());
 
+  const bool satisfiable = d.min_value() < 0.5;
+  api::EvalRequest request;
+  request.overlap = true;  // mass on minimum-violation strings
   std::printf("%4s %18s %16s\n", "p", "<violations>", "P(satisfied)");
   for (int p : {1, 2, 4, 8, 16, 24}) {
     const QaoaParams params = linear_ramp(p, 0.55);
-    const api::SatEvaluation eval =
-        api::qaoa_sat_evaluate(inst, params.gammas, params.betas);
-    std::printf("%4d %18.4f %16.3e\n", p, eval.expected_violations,
-                eval.p_satisfied);
+    const api::EvalResult r = session.evaluate(params, request);
+    std::printf("%4d %18.4f %16.3e\n", p, *r.expectation,
+                satisfiable ? *r.overlap : 0.0);
   }
 
-  // Sample assignments from the deepest schedule and check them directly.
-  const QaoaParams params = linear_ramp(24, 0.55);
-  const StateVector result = sim->simulate_qaoa(params.gammas, params.betas);
-  Rng rng(5);
-  const auto samples = sample_states(result, 2000, rng);
+  // Sample assignments from the deepest schedule and check them directly;
+  // session sampling is seeded by the spec, so reruns draw identically.
+  const auto samples = session.sample(linear_ramp(24, 0.55), 2000);
   int satisfied = 0;
   for (std::uint64_t x : samples)
     if (inst.violated(x) == 0) ++satisfied;

@@ -1,34 +1,25 @@
+// The stable compatibility layer: each one-line method builds a
+// throwaway ProblemSession and forwards through the unified
+// request/response surface, so there is exactly one code path behind
+// both API generations. Expectations, overlaps, states, and batch
+// results stay bit-identical to the direct simulator/legacy paths
+// (asserted by tests/test_crossvalidation.cpp); the one exception is
+// SatEvaluation::p_satisfied, which now reuses the shared ground-overlap
+// reduction instead of a bespoke serial scan and may differ from
+// pre-session releases in the last ulp (the summation grouping differs).
 #include "api/qokit.hpp"
 
-#include <charconv>
-#include <memory>
-#include <stdexcept>
+#include <vector>
 
 namespace qokit::api {
 namespace {
 
-/// Resolve a simulator name, including the distributed spellings
-/// "dist", "dist:K", and "dist:K:staged|pairwise|direct"; every other
-/// name is forwarded to choose_simulator.
-std::unique_ptr<QaoaFastSimulatorBase> resolve_simulator(
-    const TermList& terms, std::string_view name) {
-  if (name != "dist" && !name.starts_with("dist:"))
-    return choose_simulator(terms, name);
-  int ranks = 2;
-  AlltoallStrategy strategy = AlltoallStrategy::Staged;
-  if (name.starts_with("dist:")) {
-    std::string_view rest = name.substr(5);
-    const std::size_t colon = rest.find(':');
-    const std::string_view ranks_part = rest.substr(0, colon);
-    const auto [ptr, ec] = std::from_chars(
-        ranks_part.data(), ranks_part.data() + ranks_part.size(), ranks);
-    if (ec != std::errc{} || ptr != ranks_part.data() + ranks_part.size())
-      throw std::invalid_argument("resolve_simulator: bad rank count in '" +
-                                  std::string(name) + "'");
-    if (colon != std::string_view::npos)
-      strategy = alltoall_strategy_from_string(rest.substr(colon + 1));
-  }
-  return choose_simulator_distributed(terms, ranks, strategy);
+QaoaParams to_params(std::span<const double> gammas,
+                     std::span<const double> betas) {
+  QaoaParams p;
+  p.gammas.assign(gammas.begin(), gammas.end());
+  p.betas.assign(betas.begin(), betas.end());
+  return p;
 }
 
 }  // namespace
@@ -36,22 +27,23 @@ std::unique_ptr<QaoaFastSimulatorBase> resolve_simulator(
 double qaoa_maxcut_expectation(const Graph& g, std::span<const double> gammas,
                                std::span<const double> betas,
                                std::string_view simulator) {
-  const TermList terms = maxcut_terms(g);
-  const auto sim = resolve_simulator(terms, simulator);
-  const StateVector result = sim->simulate_qaoa(gammas, betas);
-  return sim->get_expectation(result);
+  const ProblemSession session =
+      ProblemSession::maxcut(g, SimulatorSpec::parse(simulator));
+  return *session.evaluate(to_params(gammas, betas)).expectation;
 }
 
 LabsEvaluation qaoa_labs_evaluate(int n, std::span<const double> gammas,
                                   std::span<const double> betas,
                                   std::string_view simulator) {
-  const TermList terms = labs_terms(n);
-  const auto sim = resolve_simulator(terms, simulator);
-  const StateVector result = sim->simulate_qaoa(gammas, betas);
+  const ProblemSession session =
+      ProblemSession::labs(n, SimulatorSpec::parse(simulator));
+  EvalRequest request;
+  request.overlap = true;
+  const EvalResult r = session.evaluate(to_params(gammas, betas), request);
   LabsEvaluation out;
-  out.expectation = sim->get_expectation(result);
-  out.ground_overlap = sim->get_overlap(result);
-  out.min_energy = sim->get_cost_diagonal().min_value();
+  out.expectation = *r.expectation;
+  out.ground_overlap = *r.overlap;
+  out.min_energy = session.cost_diagonal().min_value();
   return out;
 }
 
@@ -59,63 +51,59 @@ double qaoa_portfolio_expectation(const PortfolioInstance& inst,
                                   std::span<const double> gammas,
                                   std::span<const double> betas,
                                   std::string_view simulator) {
-  const TermList terms = portfolio_terms(inst);
-  const auto sim = choose_simulator_xyring(terms, simulator, inst.budget);
-  const StateVector result = sim->simulate_qaoa(gammas, betas);
-  return sim->get_expectation(result);
+  const ProblemSession session =
+      ProblemSession::portfolio(inst, SimulatorSpec::parse(simulator));
+  return *session.evaluate(to_params(gammas, betas)).expectation;
 }
 
 SatEvaluation qaoa_sat_evaluate(const SatInstance& inst,
                                 std::span<const double> gammas,
                                 std::span<const double> betas,
                                 std::string_view simulator) {
-  const TermList terms = sat_terms(inst);
-  const auto sim = resolve_simulator(terms, simulator);
-  const StateVector result = sim->simulate_qaoa(gammas, betas);
-  const CostDiagonal& d = sim->get_cost_diagonal();
+  const ProblemSession session =
+      ProblemSession::sat(inst, SimulatorSpec::parse(simulator));
+  EvalRequest request;
+  request.overlap = true;
+  const EvalResult r = session.evaluate(to_params(gammas, betas), request);
   SatEvaluation out;
-  out.expected_violations = sim->get_expectation(result);
-  out.satisfiable = d.min_value() < 0.5;
-  // Probability mass on exactly-zero-violation strings (clause counts are
-  // integers, so < 0.5 identifies them robustly).
-  double mass = 0.0;
-  for (std::uint64_t x = 0; x < d.size(); ++x)
-    if (d[x] < 0.5) mass += std::norm(result[x]);
-  out.p_satisfied = mass;
+  out.expected_violations = *r.expectation;
+  out.satisfiable = session.cost_diagonal().min_value() < 0.5;
+  // Probability mass on exactly-zero-violation strings. Clause counts are
+  // integers, so when the instance is satisfiable the minimum is 0 and the
+  // ground-overlap reduction (mass within tol of the minimum) is exactly
+  // that mass; unsatisfiable instances have no zero-cost string at all.
+  out.p_satisfied = out.satisfiable ? *r.overlap : 0.0;
   return out;
 }
 
 std::vector<double> qaoa_batch_expectation(
     const TermList& terms, std::span<const QaoaParams> schedules,
     std::string_view simulator) {
-  const auto sim = resolve_simulator(terms, simulator);
-  return BatchEvaluator(*sim).expectations(schedules);
+  const ProblemSession session(terms, SimulatorSpec::parse(simulator));
+  return session.expectations(schedules);
 }
 
 BatchResult qaoa_batch_evaluate(const TermList& terms,
                                 std::span<const QaoaParams> schedules,
-                                BatchOptions opts,
+                                const BatchOptions& opts,
                                 std::string_view simulator) {
-  const auto sim = resolve_simulator(terms, simulator);
-  return BatchEvaluator(*sim, opts).evaluate(schedules);
+  const ProblemSession session(terms, SimulatorSpec::parse(simulator));
+  return session.batch().evaluate(schedules, opts);
 }
 
 OptimizeOutcome optimize_qaoa(const TermList& terms, int p,
                               NelderMeadOptions opts,
                               std::string_view simulator) {
-  const auto sim = resolve_simulator(terms, simulator);
-  QaoaBatchObjective objective(*sim, p);
-  const QaoaParams init = linear_ramp(p);
-  const OptResult r = nelder_mead_batched(
-      [&objective](const std::vector<std::vector<double>>& points) {
-        return objective(points);
-      },
-      init.flatten(), opts);
+  const ProblemSession session(terms, SimulatorSpec::parse(simulator));
+  OptimizerSpec optimizer;
+  optimizer.p = p;
+  optimizer.nelder_mead = opts;
+  const EvalResult r = session.optimize(optimizer);
   OptimizeOutcome out;
-  out.params = QaoaParams::unflatten(r.x);
-  out.fval = r.fval;
-  out.evaluations = objective.evaluations();
-  out.batches = objective.batches();
+  out.params = *r.params;
+  out.fval = *r.expectation;
+  out.evaluations = *r.evaluations;
+  out.batches = *r.batches;
   return out;
 }
 

@@ -1,11 +1,22 @@
-// qokit-cpp umbrella header and the "easy-to-use one-line methods" of
-// paper Sec. IV: MaxCut, LABS and portfolio-optimization QAOA simulation
-// in a single call each, plus a one-call parameter-optimization driver.
+// qokit-cpp umbrella header and the stable compatibility layer.
+//
+// The primary public API is session-based (api/session.hpp): parse or
+// build a typed SimulatorSpec, construct a ProblemSession once per
+// problem, and route every query -- scalar, batch, optimize, sample --
+// through EvalRequest/EvalResult so the precompute is paid exactly once.
+//
+// The "easy-to-use one-line methods" of paper Sec. IV below (MaxCut,
+// LABS, portfolio, k-SAT, batch, optimize) are kept as the *stable
+// compatibility layer*: thin wrappers that build a throwaway session per
+// call and return bit-identical outputs to previous releases. Prefer a
+// ProblemSession whenever the same problem is queried more than once.
 #pragma once
 
 #include <span>
 #include <string_view>
 
+#include "api/session.hpp"
+#include "api/spec.hpp"
 #include "batch/batch_eval.hpp"
 #include "common/bitops.hpp"
 #include "common/cpu_features.hpp"
@@ -34,11 +45,12 @@
 
 namespace qokit::api {
 
-// The `simulator` argument of the one-line methods accepts, besides the
-// choose_simulator names ("auto", "serial", "threaded", "u16", "fwht"),
-// the distributed spellings "dist" (2 virtual ranks, staged alltoall),
-// "dist:K", and "dist:K:staged|pairwise|direct" which route through
-// DistributedFurSimulator (X-mixer workloads only).
+// The `simulator` argument of every wrapper below is parsed by
+// SimulatorSpec::parse (see api/spec.hpp for the full grammar): "auto",
+// "serial", "threaded", "u16", "fwht", "gatesim", the distributed
+// spellings "dist[:K[:staged|pairwise|direct]]", plus key=value options
+// such as "seed=7". Unknown spellings throw std::invalid_argument naming
+// the offending token -- no entry point falls back to a default.
 
 /// QAOA objective for MaxCut on `g` at the given schedule (Listing 1).
 /// Returns <C> with C = -cut, so -return is the expected cut weight.
@@ -91,7 +103,7 @@ std::vector<double> qaoa_batch_expectation(
 /// overlaps and sampled bitstrings per schedule, per `opts`.
 BatchResult qaoa_batch_evaluate(const TermList& terms,
                                 std::span<const QaoaParams> schedules,
-                                BatchOptions opts,
+                                const BatchOptions& opts,
                                 std::string_view simulator = "auto");
 
 /// One-call parameter optimization: build the fast simulator for `terms`,

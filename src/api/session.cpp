@@ -1,0 +1,181 @@
+#include "api/session.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "optimize/objective.hpp"
+#include "problems/labs.hpp"
+#include "problems/maxcut.hpp"
+#include "problems/sk.hpp"
+#include "statevector/sampling.hpp"
+
+namespace qokit::api {
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(steady::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(steady::now() -
+                                                           since)
+          .count());
+}
+
+/// Build the simulator for the session's member-init list while timing
+/// the construction (which is where the diagonal precompute happens).
+std::unique_ptr<QaoaFastSimulatorBase> build_timed(
+    const TermList& terms, const SimulatorSpec& spec,
+    std::uint64_t* precompute_ns) {
+  if (spec.simd != SimdChoice::Auto)
+    force_simd_level(spec.simd == SimdChoice::Scalar ? SimdLevel::Scalar
+                                                     : SimdLevel::Avx2);
+  const steady::time_point start = steady::now();
+  std::unique_ptr<QaoaFastSimulatorBase> sim = make_simulator(terms, spec);
+  *precompute_ns = elapsed_ns(start);
+  return sim;
+}
+
+BatchOptions batch_options_for(const EvalRequest& request,
+                               std::uint64_t sample_seed) {
+  BatchOptions opts;
+  opts.parallelism = request.parallelism;
+  opts.compute_expectation = request.expectation;
+  opts.compute_overlap = request.overlap;
+  opts.overlap_weight = request.overlap_weight;
+  opts.sample_shots = request.shots;
+  opts.sample_seed = sample_seed;
+  return opts;
+}
+
+}  // namespace
+
+ProblemSession::ProblemSession(const TermList& terms, SimulatorSpec spec)
+    : spec_(spec),
+      terms_(terms),
+      sim_(build_timed(terms_, spec_, &precompute_ns_)),
+      evaluator_(*sim_, batch_options_for(EvalRequest{}, spec.sample_seed)) {}
+
+ProblemSession ProblemSession::maxcut(const Graph& g, SimulatorSpec spec) {
+  return ProblemSession(maxcut_terms(g), spec);
+}
+
+ProblemSession ProblemSession::labs(int n, SimulatorSpec spec) {
+  return ProblemSession(labs_terms(n), spec);
+}
+
+ProblemSession ProblemSession::portfolio(const PortfolioInstance& inst,
+                                         SimulatorSpec spec) {
+  // Listing 2 semantics by default: the Hamming-weight-preserving ring-XY
+  // mixer started from the in-budget Dicke state. A spec that already
+  // chose an xy mixer or a weight keeps its choice.
+  if (spec.mixer == MixerType::X) spec.mixer = MixerType::XYRing;
+  if (spec.initial_weight < 0) spec.initial_weight = inst.budget;
+  return ProblemSession(portfolio_terms(inst), spec);
+}
+
+ProblemSession ProblemSession::sat(const SatInstance& inst,
+                                   SimulatorSpec spec) {
+  return ProblemSession(sat_terms(inst), spec);
+}
+
+ProblemSession ProblemSession::sk(int n, std::uint64_t seed,
+                                  SimulatorSpec spec) {
+  return ProblemSession(sk_terms(n, seed), spec);
+}
+
+EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
+                                    const EvalRequest& request) const {
+  if (request.shots < 0)
+    throw std::invalid_argument("EvalRequest: shots must be >= 0");
+  EvalResult out;
+  const steady::time_point t0 = steady::now();
+  // Refill the reused scratch slot from the cached initial state (a
+  // copy-assign that reuses its buffer) and evolve in place -- the exact
+  // arithmetic of a fresh simulator's simulate_qaoa, without its
+  // allocations.
+  scratch_ = evaluator_.initial_state();
+  scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), schedule.gammas,
+                                      schedule.betas);
+  const std::uint64_t simulate_ns = elapsed_ns(t0);
+  const steady::time_point t1 = steady::now();
+  if (request.expectation) out.expectation = sim_->get_expectation(scratch_);
+  if (request.overlap)
+    out.overlap = sim_->get_overlap(scratch_, request.overlap_weight);
+  if (request.shots > 0)
+    out.samples = StateSampler(scratch_).sample(request.shots,
+                                                spec_.sample_seed);
+  if (request.timings)
+    out.timings = Timings{precompute_ns_, simulate_ns, elapsed_ns(t1)};
+  return out;
+}
+
+std::vector<EvalResult> ProblemSession::evaluate_batch(
+    std::span<const QaoaParams> schedules, const EvalRequest& request) const {
+  const steady::time_point t0 = steady::now();
+  evaluator_.evaluate_into(schedules,
+                           batch_options_for(request, spec_.sample_seed),
+                           batch_scratch_);
+  const std::uint64_t batch_ns = elapsed_ns(t0);
+  std::vector<EvalResult> out(schedules.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (request.expectation)
+      out[i].expectation = batch_scratch_.expectations[i];
+    if (request.overlap) out[i].overlap = batch_scratch_.overlaps[i];
+    if (request.shots > 0)
+      out[i].samples = std::move(batch_scratch_.samples[i]);
+    if (request.timings)
+      out[i].timings = Timings{precompute_ns_, batch_ns, 0};
+  }
+  return out;
+}
+
+std::vector<double> ProblemSession::expectations(
+    std::span<const QaoaParams> schedules) const {
+  return evaluator_.expectations(schedules);
+}
+
+EvalResult ProblemSession::optimize(const OptimizerSpec& optimizer) const {
+  if (optimizer.p < 1)
+    throw std::invalid_argument("ProblemSession::optimize: p must be >= 1");
+  QaoaParams start = optimizer.initial;
+  if (start.p() == 0) start = linear_ramp(optimizer.p);
+  if (start.p() != optimizer.p)
+    throw std::invalid_argument(
+        "ProblemSession::optimize: initial schedule depth does not match p");
+  QaoaBatchObjective objective(*sim_, optimizer.p);
+  const auto population =
+      [&objective](const std::vector<std::vector<double>>& points) {
+        return objective(points);
+      };
+  const steady::time_point t0 = steady::now();
+  const OptResult r =
+      optimizer.method == OptimizerSpec::Method::NelderMead
+          ? nelder_mead_batched(population, start.flatten(),
+                                optimizer.nelder_mead)
+          : spsa_batched(population, start.flatten(), optimizer.spsa);
+  EvalResult out;
+  out.expectation = r.fval;
+  out.params = QaoaParams::unflatten(r.x);
+  out.evaluations = objective.evaluations();
+  out.batches = objective.batches();
+  out.iterations = r.iterations;
+  out.converged = r.converged;
+  out.timings = Timings{precompute_ns_, elapsed_ns(t0), 0};
+  return out;
+}
+
+StateVector ProblemSession::simulate(const QaoaParams& schedule) const {
+  return sim_->simulate_qaoa(schedule.gammas, schedule.betas);
+}
+
+std::vector<std::uint64_t> ProblemSession::sample(const QaoaParams& schedule,
+                                                  int shots) const {
+  EvalRequest request;
+  request.expectation = false;
+  request.shots = shots;
+  EvalResult r = evaluate(schedule, request);
+  return r.samples ? std::move(*r.samples) : std::vector<std::uint64_t>{};
+}
+
+}  // namespace qokit::api

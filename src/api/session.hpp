@@ -1,0 +1,177 @@
+// Session-based public API: hold the precompute, answer many queries.
+//
+// The paper's central economics is amortization -- precompute the cost
+// diagonal once, then make each layer (and, with src/batch/, each
+// schedule) cheap. ProblemSession carries that economics to the API
+// boundary: construct it once per problem and it owns the simulator, the
+// precomputed diagonal, the cached initial state, a BatchEvaluator
+// scratch pool, and the sampling seed; every entry point -- scalar
+// evaluation, batched evaluation, optimization, sampling -- then routes
+// through one typed EvalRequest/EvalResult surface with zero re-
+// precompute and zero steady-state statevector allocations. The one-line
+// free functions in api/qokit.hpp remain as the stable compatibility
+// layer; each is a thin wrapper over a throwaway session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "batch/batch_eval.hpp"
+#include "optimize/nelder_mead.hpp"
+#include "optimize/params.hpp"
+#include "optimize/spsa.hpp"
+#include "problems/graph.hpp"
+#include "problems/portfolio.hpp"
+#include "problems/sat.hpp"
+#include "statevector/state.hpp"
+#include "terms/term.hpp"
+
+namespace qokit::api {
+
+/// Where an evaluation's time went, in nanoseconds.
+struct Timings {
+  /// The session's one-time diagonal precompute. Paid at construction and
+  /// amortized over every subsequent call -- reported (unchanged) on each
+  /// result so callers can see what the session saved them, never re-paid.
+  std::uint64_t precompute_ns = 0;
+  std::uint64_t simulate_ns = 0;  ///< state evolution (whole batch when
+                                  ///< batched; evolution and scoring are
+                                  ///< interleaved there)
+  std::uint64_t reduce_ns = 0;    ///< scoring: expectation / overlap /
+                                  ///< sampling (0 for batched calls)
+};
+
+/// What an evaluate() / evaluate_batch() call should compute.
+struct EvalRequest {
+  bool expectation = true;  ///< fill EvalResult::expectation
+  bool overlap = false;     ///< fill EvalResult::overlap
+  int overlap_weight = -1;  ///< restrict the overlap minimum to this
+                            ///< Hamming-weight sector; -1 = full space
+  int shots = 0;            ///< >0: fill EvalResult::samples
+  bool timings = false;     ///< fill EvalResult::timings
+  /// Batched calls only: schedule- vs state-parallel execution (Auto lets
+  /// the BatchEvaluator cost heuristic decide). Ignored by evaluate().
+  BatchParallelism parallelism = BatchParallelism::Auto;
+};
+
+/// Unified result shape: requested fields are engaged, everything else is
+/// nullopt. Subsumes the historical LabsEvaluation / SatEvaluation /
+/// BatchResult / OptimizeOutcome shapes (which remain in the
+/// compatibility layer, populated from this).
+struct EvalResult {
+  std::optional<double> expectation;  ///< <C> over the evolved state
+  std::optional<double> overlap;      ///< ground-state probability mass
+  std::optional<std::vector<std::uint64_t>> samples;  ///< drawn bitstrings
+  std::optional<Timings> timings;
+
+  // Engaged by ProblemSession::optimize only:
+  std::optional<QaoaParams> params;  ///< optimized schedule
+  std::optional<int> evaluations;    ///< simulator calls spent
+  std::optional<int> batches;        ///< batch submissions those arrived in
+  std::optional<int> iterations;     ///< optimizer iterations
+  std::optional<bool> converged;     ///< tolerance met within budget
+};
+
+/// Which optimizer ProblemSession::optimize runs and how.
+struct OptimizerSpec {
+  enum class Method { NelderMead, Spsa };
+  Method method = Method::NelderMead;
+  int p = 1;           ///< QAOA depth (parameter layout is 2p)
+  QaoaParams initial;  ///< start schedule; empty -> linear_ramp(p)
+  NelderMeadOptions nelder_mead{};  ///< used when method == NelderMead
+  SpsaOptions spsa{};               ///< used when method == Spsa
+};
+
+/// A reusable handle over one problem: owns the simulator (and with it
+/// the precomputed cost diagonal), the cached initial state, the batch
+/// scratch pool, and the sampling seed from its SimulatorSpec. Repeated
+/// calls perform zero re-precompute and zero steady-state statevector
+/// allocations (pinned by tests/test_session_api.cpp via the
+/// instrumented AlignedAllocator counter). Results are bit-identical to
+/// the legacy free functions on every backend. Not safe for concurrent
+/// calls on one instance (the scratch is per-instance); distinct
+/// sessions are independent. Movable, not copyable.
+class ProblemSession {
+ public:
+  /// Precomputes the diagonal for `terms` under `spec` (the one expensive
+  /// step; see precompute_ns()). A non-Auto spec.simd is applied
+  /// process-globally via force_simd_level, mirroring QOKIT_SIMD=scalar.
+  explicit ProblemSession(const TermList& terms, SimulatorSpec spec = {});
+
+  // Problem-family builders (the session-shaped counterparts of the
+  // one-line methods).
+  static ProblemSession maxcut(const Graph& g, SimulatorSpec spec = {});
+  static ProblemSession labs(int n, SimulatorSpec spec = {});
+  /// Defaults the spec to the ring-XY mixer started from the in-budget
+  /// Dicke state (Listing 2 semantics) unless the spec already picked an
+  /// xy mixer / weight.
+  static ProblemSession portfolio(const PortfolioInstance& inst,
+                                  SimulatorSpec spec = {});
+  static ProblemSession sat(const SatInstance& inst, SimulatorSpec spec = {});
+  static ProblemSession sk(int n, std::uint64_t seed,
+                           SimulatorSpec spec = {});
+
+  /// Evaluate one schedule. Evolves the reused scratch state (zero
+  /// steady-state statevector allocations) and scores exactly as a
+  /// freshly built simulator would -- bit-identical outputs.
+  EvalResult evaluate(const QaoaParams& schedule,
+                      const EvalRequest& request = {}) const;
+
+  /// Evaluate many schedules through the batch engine (shared diagonal,
+  /// per-thread scratch pool, outer/inner parallelism by cost heuristic).
+  /// Results are indexed like `schedules`; expectations and overlaps are
+  /// bit-identical to calling evaluate() in a loop. Sampling draws
+  /// schedule i from Rng(spec().sample_seed + i) -- independent of
+  /// evaluation order and mode, and matching a scalar evaluate() (which
+  /// draws from Rng(sample_seed)) at index 0 only.
+  std::vector<EvalResult> evaluate_batch(
+      std::span<const QaoaParams> schedules,
+      const EvalRequest& request = {}) const;
+
+  /// Expectations-only fast path (what optimizer populations use).
+  std::vector<double> expectations(
+      std::span<const QaoaParams> schedules) const;
+
+  /// Run a parameter optimization. The population steps go through the
+  /// session's batch plumbing (QaoaBatchObjective); the result engages
+  /// params / expectation (the optimized objective) / evaluations /
+  /// batches / iterations / converged.
+  EvalResult optimize(const OptimizerSpec& optimizer) const;
+
+  /// The evolved state itself (allocates; the get_statevector analogue).
+  StateVector simulate(const QaoaParams& schedule) const;
+
+  /// Draw `shots` measurement outcomes at a schedule, seeded with
+  /// spec().sample_seed: sessions with equal specs produce identical
+  /// sample streams, whatever their Exec policy.
+  std::vector<std::uint64_t> sample(const QaoaParams& schedule,
+                                    int shots) const;
+
+  const SimulatorSpec& spec() const { return spec_; }
+  const TermList& terms() const { return terms_; }
+  const QaoaFastSimulatorBase& simulator() const { return *sim_; }
+  const CostDiagonal& cost_diagonal() const {
+    return sim_->get_cost_diagonal();
+  }
+  /// The session's batch engine (for BatchOptions-level control; the
+  /// compatibility wrappers use this).
+  const BatchEvaluator& batch() const { return evaluator_; }
+  int num_qubits() const { return sim_->num_qubits(); }
+  /// Wall time of the one-time diagonal precompute at construction.
+  std::uint64_t precompute_ns() const { return precompute_ns_; }
+
+ private:
+  SimulatorSpec spec_;
+  TermList terms_;
+  std::uint64_t precompute_ns_ = 0;
+  std::unique_ptr<QaoaFastSimulatorBase> sim_;
+  BatchEvaluator evaluator_;
+  mutable StateVector scratch_;       ///< scalar-evaluate slot, reused
+  mutable BatchResult batch_scratch_; ///< reused across evaluate_batch calls
+};
+
+}  // namespace qokit::api

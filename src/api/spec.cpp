@@ -1,0 +1,336 @@
+#include "api/spec.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+#include "diagonal/ops.hpp"
+#include "dist/dist_fur.hpp"
+#include "gatesim/execute.hpp"
+#include "gatesim/simulator.hpp"
+
+namespace qokit {
+namespace {
+
+[[noreturn]] void bad_token(std::string_view token, std::string_view name) {
+  throw std::invalid_argument("SimulatorSpec::parse: unrecognized token '" +
+                              std::string(token) + "' in '" +
+                              std::string(name) + "'");
+}
+
+/// Execution policy parse() assumes when no exec= option is given; also
+/// the policy to_string() elides, so the canonical spelling stays short.
+Exec default_exec(Backend backend) {
+  return backend == Backend::Serial ? Exec::Serial : Exec::Parallel;
+}
+
+bool parse_backend(std::string_view token, Backend* out) {
+  if (token == "auto") *out = Backend::Auto;
+  else if (token == "serial") *out = Backend::Serial;
+  else if (token == "threaded") *out = Backend::Threaded;
+  else if (token == "u16") *out = Backend::U16;
+  else if (token == "fwht") *out = Backend::Fwht;
+  else if (token == "gatesim") *out = Backend::Gatesim;
+  else if (token == "dist") *out = Backend::Dist;
+  else return false;
+  return true;
+}
+
+bool parse_strategy(std::string_view token, AlltoallStrategy* out) {
+  if (token == "staged") *out = AlltoallStrategy::Staged;
+  else if (token == "pairwise") *out = AlltoallStrategy::Pairwise;
+  else if (token == "direct") *out = AlltoallStrategy::Direct;
+  else return false;
+  return true;
+}
+
+bool parse_mixer(std::string_view token, MixerType* out) {
+  if (token == "x") *out = MixerType::X;
+  else if (token == "xyring") *out = MixerType::XYRing;
+  else if (token == "xycomplete") *out = MixerType::XYComplete;
+  else return false;
+  return true;
+}
+
+std::string_view mixer_token(MixerType mixer) {
+  switch (mixer) {
+    case MixerType::X: return "x";
+    case MixerType::XYRing: return "xyring";
+    default: return "xycomplete";
+  }
+}
+
+std::string_view simd_token(SimdChoice simd) {
+  switch (simd) {
+    case SimdChoice::Auto: return "auto";
+    case SimdChoice::Scalar: return "scalar";
+    default: return "avx2";
+  }
+}
+
+template <class Int>
+bool parse_int(std::string_view token, Int* out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc{} && ptr == token.data() + token.size();
+}
+
+bool all_digits(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+/// One "key=value" option. Returns false when `token` has no '=' at all
+/// (so positional dist tokens can be tried first); throws on a known key
+/// with a bad value or an unknown key.
+bool apply_option(std::string_view token, std::string_view name,
+                  SimulatorSpec* spec) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  const std::string_view key = token.substr(0, eq);
+  const std::string_view value = token.substr(eq + 1);
+  bool ok = false;
+  if (key == "mixer") {
+    ok = parse_mixer(value, &spec->mixer);
+  } else if (key == "exec") {
+    ok = value == "serial" || value == "parallel";
+    if (ok) spec->exec = value == "serial" ? Exec::Serial : Exec::Parallel;
+  } else if (key == "ranks") {
+    ok = parse_int(value, &spec->ranks) && spec->ranks >= 1;
+  } else if (key == "alltoall") {
+    ok = parse_strategy(value, &spec->alltoall);
+  } else if (key == "weight") {
+    ok = parse_int(value, &spec->initial_weight);
+  } else if (key == "simd") {
+    if (value == "auto") spec->simd = SimdChoice::Auto, ok = true;
+    else if (value == "scalar") spec->simd = SimdChoice::Scalar, ok = true;
+    else if (value == "avx2") spec->simd = SimdChoice::Avx2, ok = true;
+  } else if (key == "seed") {
+    ok = parse_int(value, &spec->sample_seed);
+  }
+  if (!ok) bad_token(token, name);
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(Backend backend) {
+  switch (backend) {
+    case Backend::Auto: return "auto";
+    case Backend::Serial: return "serial";
+    case Backend::Threaded: return "threaded";
+    case Backend::U16: return "u16";
+    case Backend::Fwht: return "fwht";
+    case Backend::Gatesim: return "gatesim";
+    default: return "dist";
+  }
+}
+
+SimulatorSpec SimulatorSpec::parse(std::string_view name) {
+  SimulatorSpec spec;
+  std::size_t pos = name.find(':');
+  const std::string_view head = name.substr(0, pos);
+  if (!parse_backend(head, &spec.backend)) bad_token(head, name);
+  spec.exec = default_exec(spec.backend);
+
+  // Remaining colon-separated tokens. The legacy distributed spelling
+  // "dist[:K[:strategy]]" uses positional tokens; everything else is
+  // key=value.
+  bool want_dist_ranks = spec.backend == Backend::Dist;
+  bool want_dist_strategy = false;
+  while (pos != std::string_view::npos) {
+    const std::size_t next = name.find(':', pos + 1);
+    const std::string_view token =
+        name.substr(pos + 1, next == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : next - pos - 1);
+    pos = next;
+    if (want_dist_ranks && all_digits(token)) {
+      if (!parse_int(token, &spec.ranks) || spec.ranks < 1)
+        bad_token(token, name);
+      want_dist_ranks = false;
+      want_dist_strategy = true;
+      continue;
+    }
+    want_dist_ranks = false;
+    if (apply_option(token, name, &spec)) {
+      want_dist_strategy = false;
+      continue;
+    }
+    if (want_dist_strategy && parse_strategy(token, &spec.alltoall)) {
+      want_dist_strategy = false;
+      continue;
+    }
+    bad_token(token, name);
+  }
+  return spec;
+}
+
+std::string SimulatorSpec::to_string() const {
+  std::string out(qokit::to_string(backend));
+  if (backend == Backend::Dist) {
+    out += ':';
+    out += std::to_string(ranks);
+    out += ':';
+    out += qokit::to_string(alltoall);
+  } else {
+    // ranks/alltoall are dist-only knobs, but the spec compares them, so
+    // the canonical spelling must carry non-default values to round-trip.
+    if (ranks != 2) out += ":ranks=" + std::to_string(ranks);
+    if (alltoall != AlltoallStrategy::Staged) {
+      out += ":alltoall=";
+      out += qokit::to_string(alltoall);
+    }
+  }
+  if (mixer != MixerType::X) {
+    out += ":mixer=";
+    out += mixer_token(mixer);
+  }
+  if (exec != default_exec(backend))
+    out += exec == Exec::Serial ? ":exec=serial" : ":exec=parallel";
+  if (initial_weight >= 0)
+    out += ":weight=" + std::to_string(initial_weight);
+  if (simd != SimdChoice::Auto) {
+    out += ":simd=";
+    out += simd_token(simd);
+  }
+  if (sample_seed != 1) out += ":seed=" + std::to_string(sample_seed);
+  return out;
+}
+
+namespace {
+
+/// Backend::Gatesim behind the fast-simulator interface: gate-at-a-time
+/// evolution (the baseline cost model), but scored through a diagonal
+/// precomputed once at construction so get_expectation / get_overlap /
+/// get_cost_diagonal work uniformly across every session backend.
+class GateSimAdapter final : public QaoaFastSimulatorBase {
+ public:
+  GateSimAdapter(const TermList& terms, const SimulatorSpec& spec)
+      : gates_(terms, GateSimConfig{.exec = spec.exec,
+                                    .mixer = spec.mixer,
+                                    .phase_style = PhaseStyle::CxLadder,
+                                    .fuse = false,
+                                    .out_of_place = false}),
+        diag_(CostDiagonal::precompute(terms, spec.exec)),
+        exec_(spec.exec),
+        initial_weight_(spec.initial_weight) {}
+
+  int num_qubits() const override { return gates_.num_qubits(); }
+
+  StateVector initial_state() const override {
+    const int n = num_qubits();
+    // The compiled circuit opens with the H layer for the X mixer, so the
+    // evolution starts from |0...0>; xy runs start from the Dicke state.
+    if (gates_.config().mixer == MixerType::X)
+      return StateVector::basis_state(n, 0);
+    const int k = initial_weight_ >= 0 ? initial_weight_ : n / 2;
+    return StateVector::dicke_state(n, k);
+  }
+
+  StateVector simulate_qaoa_from(StateVector state,
+                                 std::span<const double> gammas,
+                                 std::span<const double> betas) const override {
+    if (gammas.size() != betas.size())
+      throw std::invalid_argument(
+          "simulate_qaoa: gammas/betas length mismatch");
+    if (state.num_qubits() != num_qubits())
+      throw std::invalid_argument("simulate_qaoa: state size mismatch");
+    const Circuit c = gates_.build_circuit(gammas, betas);
+    run_circuit(state, c, exec_);
+    // Constant terms compile to no gate but contribute a global phase per
+    // layer; apply it so the state matches the diagonal simulators exactly
+    // (same fixup as GateQaoaSimulator::simulate_qaoa).
+    const double offset = gates_.terms().offset();
+    if (offset != 0.0) {
+      double total = 0.0;
+      for (double g : gammas) total += g;
+      const cdouble phase(std::cos(-total * offset),
+                          std::sin(-total * offset));
+      for (std::uint64_t i = 0; i < state.size(); ++i) state[i] *= phase;
+    }
+    return state;
+  }
+
+  using QaoaFastSimulatorBase::get_expectation;
+  using QaoaFastSimulatorBase::get_overlap;
+
+  double get_expectation(const StateVector& result) const override {
+    return expectation(result, diag_, exec_);
+  }
+
+  double get_overlap(const StateVector& result,
+                     int restrict_weight = -1) const override {
+    if (restrict_weight < 0)
+      return overlap_ground(result, diag_, 1e-9, exec_);
+    return overlap_ground_sector(result, diag_, restrict_weight, 1e-9,
+                                 exec_);
+  }
+
+  const CostDiagonal& get_cost_diagonal() const override { return diag_; }
+
+ private:
+  GateQaoaSimulator gates_;
+  CostDiagonal diag_;
+  Exec exec_;
+  int initial_weight_;
+};
+
+}  // namespace
+
+std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
+    const TermList& terms, const SimulatorSpec& spec) {
+  switch (spec.backend) {
+    case Backend::Dist:
+      if (spec.mixer != MixerType::X)
+        throw std::invalid_argument(
+            "make_simulator: the dist backend supports only the X mixer");
+      return std::make_unique<DistributedFurSimulator>(
+          terms, DistConfig{.ranks = spec.ranks, .strategy = spec.alltoall});
+    case Backend::Gatesim:
+      return std::make_unique<GateSimAdapter>(terms, spec);
+    default: {
+      FurConfig cfg;
+      cfg.exec = spec.exec;
+      cfg.mixer = spec.mixer;
+      cfg.initial_weight = spec.initial_weight;
+      if (spec.backend == Backend::U16) cfg.use_u16 = true;
+      if (spec.backend == Backend::Fwht) {
+        if (spec.mixer != MixerType::X)
+          throw std::invalid_argument(
+              "fwht backend supports only the X mixer");
+        cfg.backend = MixerBackend::Fwht;
+      }
+      return std::make_unique<FurQaoaSimulator>(terms, cfg);
+    }
+  }
+}
+
+// The choose_simulator family (declared in fur/simulator.hpp) is defined
+// here so the string grammar lives in exactly one place: every name goes
+// through SimulatorSpec::parse and every simulator through make_simulator.
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator(const TermList& terms,
+                                                        std::string_view name) {
+  return make_simulator(terms, SimulatorSpec::parse(name));
+}
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xyring(
+    const TermList& terms, std::string_view name, int initial_weight) {
+  SimulatorSpec spec = SimulatorSpec::parse(name);
+  spec.mixer = MixerType::XYRing;
+  spec.initial_weight = initial_weight;
+  return make_simulator(terms, spec);
+}
+
+std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xycomplete(
+    const TermList& terms, std::string_view name, int initial_weight) {
+  SimulatorSpec spec = SimulatorSpec::parse(name);
+  spec.mixer = MixerType::XYComplete;
+  spec.initial_weight = initial_weight;
+  return make_simulator(terms, spec);
+}
+
+}  // namespace qokit

@@ -1,0 +1,107 @@
+// Typed simulator configuration for the public API.
+//
+// The one-line methods historically selected backends via an untyped
+// string that every entry point re-parsed (and the distributed spellings
+// were recognized by only some of them). SimulatorSpec is the single
+// typed description of "which simulator, configured how": every string
+// spelling parses into it exactly once, every factory consumes it, and
+// to_string() renders the canonical spelling back, so a spec can be
+// logged, stored, and compared for equality. choose_simulator and
+// friends remain as thin wrappers over make_simulator(terms, spec).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/cpu_features.hpp"
+#include "dist/alltoall.hpp"
+#include "fur/mixers.hpp"
+#include "fur/simulator.hpp"
+#include "terms/term.hpp"
+
+namespace qokit {
+
+/// Which simulator implementation a spec selects.
+enum class Backend {
+  Auto,      ///< the default: threaded fused-kernel FurQaoaSimulator
+  Serial,    ///< single-threaded FurQaoaSimulator (portable reference)
+  Threaded,  ///< explicit OpenMP FurQaoaSimulator
+  U16,       ///< FurQaoaSimulator over the uint16-compressed diagonal
+  Fwht,      ///< FurQaoaSimulator with the two-transform mixer (X only)
+  Gatesim,   ///< gate-at-a-time evolution (diagonal-scored; baseline)
+  Dist,      ///< DistributedFurSimulator over `ranks` virtual ranks
+};
+
+/// Canonical backend token ("auto", "serial", ..., "dist").
+std::string_view to_string(Backend backend);
+
+/// Which SIMD kernel family a session should pin (process-global; see
+/// SimulatorSpec::simd).
+enum class SimdChoice {
+  Auto,    ///< whatever active_simd_level() resolves (CPUID + env)
+  Scalar,  ///< force the portable scalar family
+  Avx2,    ///< request AVX2 (clamped to scalar when unavailable)
+};
+
+/// Typed construction-time configuration for every simulator backend.
+///
+/// String grammar (SimulatorSpec::parse):
+///
+///   spec    := backend (":" option)*
+///   backend := "auto" | "serial" | "threaded" | "u16" | "fwht"
+///            | "gatesim" | "dist" [":" K [":" staged|pairwise|direct]]
+///   option  := "mixer="    ("x" | "xyring" | "xycomplete")
+///            | "exec="     ("serial" | "parallel")
+///            | "ranks="    <int>                (dist only)
+///            | "alltoall=" ("staged" | "pairwise" | "direct")
+///            | "weight="   <int>                (Dicke weight, xy mixers)
+///            | "simd="     ("auto" | "scalar" | "avx2")
+///            | "seed="     <uint64>             (sampling seed)
+///
+/// Any other token throws std::invalid_argument naming the offending
+/// token -- no spelling silently falls back to a default simulator.
+/// parse() validates tokens only; semantic constraints (e.g. fwht or
+/// dist with an XY mixer) are enforced by make_simulator.
+struct SimulatorSpec {
+  Backend backend = Backend::Auto;
+  MixerType mixer = MixerType::X;
+  /// Kernel execution policy. parse() defaults this per backend (Serial
+  /// for "serial", Parallel otherwise); ignored by Backend::Dist, whose
+  /// rank threads are the parallelism.
+  Exec exec = Exec::Parallel;
+  int ranks = 2;  ///< virtual rank count (Backend::Dist only)
+  AlltoallStrategy alltoall = AlltoallStrategy::Staged;  ///< Dist only
+  int initial_weight = -1;  ///< Dicke weight for xy mixers; -1 = n/2
+  /// SIMD kernel-family override. Applied by ProblemSession at
+  /// construction via force_simd_level -- PROCESS-GLOBAL and sticky,
+  /// mirroring the QOKIT_SIMD environment override: it pins the dispatch
+  /// level for every simulator in the process from that point on (Auto
+  /// never un-pins), so use it to pin a whole run (e.g. reproducibility),
+  /// not to mix kernel families between live sessions. make_simulator
+  /// ignores it.
+  SimdChoice simd = SimdChoice::Auto;
+  std::uint64_t sample_seed = 1;  ///< base seed for drawn bitstrings
+
+  /// Parse a spelling per the grammar above. Throws std::invalid_argument
+  /// naming the offending token on anything unrecognized.
+  static SimulatorSpec parse(std::string_view name);
+
+  /// Canonical spelling; parse(to_string()) reproduces the spec exactly
+  /// (including every non-default field).
+  std::string to_string() const;
+
+  friend bool operator==(const SimulatorSpec&, const SimulatorSpec&) =
+      default;
+};
+
+/// Build the simulator a spec describes. The single factory behind
+/// choose_simulator / choose_simulator_xyring / choose_simulator_xycomplete
+/// / choose_simulator_distributed and the session API. Throws
+/// std::invalid_argument on semantically invalid combinations (fwht or
+/// dist with a non-X mixer).
+std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
+    const TermList& terms, const SimulatorSpec& spec);
+
+}  // namespace qokit

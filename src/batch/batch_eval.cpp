@@ -18,7 +18,8 @@ void score_one(const QaoaFastSimulatorBase& sim, const BatchOptions& opts,
                std::size_t index, StateVector& state, BatchResult& out) {
   if (!out.expectations.empty())
     out.expectations[index] = sim.get_expectation(state);
-  if (!out.overlaps.empty()) out.overlaps[index] = sim.get_overlap(state);
+  if (!out.overlaps.empty())
+    out.overlaps[index] = sim.get_overlap(state, opts.overlap_weight);
   if (!out.samples.empty()) {
     // Seeded per schedule index, so the drawn bitstrings are independent
     // of evaluation order and of the parallelism mode.
@@ -41,7 +42,12 @@ BatchEvaluator::BatchEvaluator(const QaoaFastSimulatorBase& sim,
 }
 
 BatchParallelism BatchEvaluator::resolve_parallelism(std::size_t batch) const {
-  if (opts_.parallelism != BatchParallelism::Auto) return opts_.parallelism;
+  return resolve(opts_.parallelism, batch);
+}
+
+BatchParallelism BatchEvaluator::resolve(BatchParallelism requested,
+                                         std::size_t batch) const {
+  if (requested != BatchParallelism::Auto) return requested;
   const int threads = max_threads();
   if (threads <= 1 || batch < 2) return BatchParallelism::Inner;
   // One simulate_qaoa call already employs the machine's threads itself
@@ -62,19 +68,26 @@ BatchParallelism BatchEvaluator::resolve_parallelism(std::size_t batch) const {
                                                     : BatchParallelism::Inner;
 }
 
-BatchResult BatchEvaluator::evaluate_with(std::span<const QaoaParams> schedules,
-                                          const BatchOptions& opts) const {
+void BatchEvaluator::evaluate_into(std::span<const QaoaParams> schedules,
+                                   const BatchOptions& opts,
+                                   BatchResult& out) const {
+  // Same guard the constructor applies to its own options: per-call
+  // options must not silently drop a nonsensical shot count.
+  if (opts.sample_shots < 0)
+    throw std::invalid_argument("BatchEvaluator: sample_shots must be >= 0");
   for (const QaoaParams& s : schedules)
     if (s.gammas.size() != s.betas.size())
       throw std::invalid_argument(
           "BatchEvaluator: gammas/betas length mismatch");
   const std::size_t m = schedules.size();
-  BatchResult out;
-  out.used = resolve_parallelism(m);
-  if (opts.compute_expectation) out.expectations.resize(m);
-  if (opts.compute_overlap) out.overlaps.resize(m);
-  if (opts.keep_states) out.states.resize(m);
-  if (opts.sample_shots > 0) out.samples.resize(m);
+  out.used = resolve(opts.parallelism, m);
+  // resize() reuses existing capacity (and, for states, the statevector
+  // buffers inside surviving slots), so a reused `out` allocates nothing
+  // in steady state; unrequested fields are cleared.
+  out.expectations.resize(opts.compute_expectation ? m : 0);
+  out.overlaps.resize(opts.compute_overlap ? m : 0);
+  out.states.resize(opts.keep_states ? m : 0);
+  out.samples.resize(opts.sample_shots > 0 ? m : 0);
 
   // Evolve schedule i in slot: refill from the cached initial state (a
   // copy-assign that reuses the slot's buffer, so no allocation after the
@@ -92,7 +105,7 @@ BatchResult BatchEvaluator::evaluate_with(std::span<const QaoaParams> schedules,
       evolve(i, slot);
       score_one(*sim_, opts, i, slot, out);
     }
-    return out;
+    return;
   }
 
   // Outer: rounds of up to one schedule per scratch slot. Evolution
@@ -126,12 +139,18 @@ BatchResult BatchEvaluator::evaluate_with(std::span<const QaoaParams> schedules,
       score_one(*sim_, opts, base + static_cast<std::size_t>(c),
                 scratch_[static_cast<std::size_t>(c)], out);
   }
-  return out;
 }
 
 BatchResult BatchEvaluator::evaluate(
     std::span<const QaoaParams> schedules) const {
-  return evaluate_with(schedules, opts_);
+  return evaluate(schedules, opts_);
+}
+
+BatchResult BatchEvaluator::evaluate(std::span<const QaoaParams> schedules,
+                                     const BatchOptions& opts) const {
+  BatchResult out;
+  evaluate_into(schedules, opts, out);
+  return out;
 }
 
 std::vector<double> BatchEvaluator::expectations(
@@ -141,7 +160,9 @@ std::vector<double> BatchEvaluator::expectations(
   trimmed.compute_overlap = false;
   trimmed.keep_states = false;
   trimmed.sample_shots = 0;
-  return std::move(evaluate_with(schedules, trimmed).expectations);
+  BatchResult out;
+  evaluate_into(schedules, trimmed, out);
+  return std::move(out.expectations);
 }
 
 std::vector<double> BatchEvaluator::expectations_packed(

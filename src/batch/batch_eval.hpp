@@ -42,6 +42,7 @@ struct BatchOptions {
   BatchParallelism parallelism = BatchParallelism::Auto;
   bool compute_expectation = true;  ///< fill BatchResult::expectations
   bool compute_overlap = false;     ///< fill BatchResult::overlaps
+  int overlap_weight = -1;   ///< restrict the overlap to this HW sector
   bool keep_states = false;  ///< fill BatchResult::states (copies; test aid)
   int sample_shots = 0;      ///< >0: sample this many bitstrings/schedule
   std::uint64_t sample_seed = 1;  ///< schedule i samples with seed+i
@@ -70,6 +71,20 @@ class BatchEvaluator {
   /// Evaluate every schedule; results are indexed like `schedules`.
   BatchResult evaluate(std::span<const QaoaParams> schedules) const;
 
+  /// Same, with per-call options (construction options are ignored; the
+  /// parallelism choice comes from `opts`).
+  BatchResult evaluate(std::span<const QaoaParams> schedules,
+                       const BatchOptions& opts) const;
+
+  /// Evaluate into a caller-owned result, reusing its buffers: the output
+  /// vectors are resized (which reuses capacity) and kept states are
+  /// copy-assigned into existing slots (which reuses their statevector
+  /// allocations when sizes match). Repeated same-shape calls therefore
+  /// perform zero steady-state statevector allocations even with
+  /// keep_states on. Fields not requested by `opts` are cleared.
+  void evaluate_into(std::span<const QaoaParams> schedules,
+                     const BatchOptions& opts, BatchResult& out) const;
+
   /// Expectations only (the optimizer-population fast path); ignores the
   /// compute_* options.
   std::vector<double> expectations(std::span<const QaoaParams> schedules)
@@ -87,13 +102,18 @@ class BatchEvaluator {
   const QaoaFastSimulatorBase& simulator() const { return *sim_; }
   const BatchOptions& options() const { return opts_; }
 
+  /// The initial state cached at construction (copied into scratch per
+  /// schedule); exposed so callers sharing the evaluator -- the session's
+  /// scalar path -- can refill their own scratch without recomputing it.
+  const StateVector& initial_state() const { return init_; }
+
   /// Outer mode keeps one scratch state per thread; above this total
   /// footprint the Auto heuristic falls back to Inner.
   static constexpr std::uint64_t kMaxOuterScratchBytes = 1ull << 32;
 
  private:
-  BatchResult evaluate_with(std::span<const QaoaParams> schedules,
-                            const BatchOptions& opts) const;
+  BatchParallelism resolve(BatchParallelism requested,
+                           std::size_t batch) const;
 
   const QaoaFastSimulatorBase* sim_;
   BatchOptions opts_;

@@ -44,12 +44,18 @@ DiagonalU16 DiagonalU16::encode(const CostDiagonal& d) {
 
 aligned_vector<std::complex<double>> DiagonalU16::phase_table(
     double gamma) const {
-  aligned_vector<std::complex<double>> lut(65536);
+  aligned_vector<std::complex<double>> lut;
+  phase_table_into(gamma, lut);
+  return lut;
+}
+
+void DiagonalU16::phase_table_into(
+    double gamma, aligned_vector<std::complex<double>>& lut) const {
+  lut.resize(65536);
   for (std::uint32_t c = 0; c < 65536; ++c) {
     const double ang = -gamma * (offset_ + scale_ * c);
     lut[c] = std::complex<double>(std::cos(ang), std::sin(ang));
   }
-  return lut;
 }
 
 }  // namespace qokit

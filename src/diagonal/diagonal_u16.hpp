@@ -60,6 +60,12 @@ class DiagonalU16 {
   /// decode(c)}. Size 65536; rebuild per distinct gamma.
   aligned_vector<std::complex<double>> phase_table(double gamma) const;
 
+  /// Fill a caller-owned table instead of allocating one (resize reuses
+  /// capacity), so the per-layer phase application can run with zero
+  /// steady-state allocations like every other hot path.
+  void phase_table_into(double gamma,
+                        aligned_vector<std::complex<double>>& lut) const;
+
  private:
   int n_ = 0;
   double offset_ = 0.0;

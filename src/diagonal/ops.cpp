@@ -29,7 +29,12 @@ void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
 void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
                  Exec exec) {
   check_dims(sv.size(), diag.size(), "apply_phase(u16)");
-  const auto lut = diag.phase_table(gamma);
+  // Per-thread reusable table (1 MiB): after a thread's first layer the
+  // u16 phase path performs zero allocations, matching the other hot
+  // paths and keeping the scratch-reuse allocation pins valid for the
+  // u16 backend too.
+  thread_local aligned_vector<std::complex<double>> lut;
+  diag.phase_table_into(gamma, lut);
   simd::apply_phase_table(sv.data(), diag.codes(), lut.data(), sv.size(),
                           exec);
 }

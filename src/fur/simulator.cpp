@@ -111,50 +111,8 @@ StateVector simulate_ma_qaoa(const FurQaoaSimulator& sim,
   return state;
 }
 
-namespace {
-
-FurConfig config_for_name(std::string_view name, MixerType mixer,
-                          int initial_weight) {
-  FurConfig cfg;
-  cfg.mixer = mixer;
-  cfg.initial_weight = initial_weight;
-  if (name == "auto" || name == "threaded") {
-    cfg.exec = Exec::Parallel;
-  } else if (name == "serial") {
-    cfg.exec = Exec::Serial;
-  } else if (name == "u16") {
-    cfg.exec = Exec::Parallel;
-    cfg.use_u16 = true;
-  } else if (name == "fwht") {
-    if (mixer != MixerType::X)
-      throw std::invalid_argument("fwht backend supports only the X mixer");
-    cfg.exec = Exec::Parallel;
-    cfg.backend = MixerBackend::Fwht;
-  } else {
-    throw std::invalid_argument("choose_simulator: unknown name '" +
-                                std::string(name) + "'");
-  }
-  return cfg;
-}
-
-}  // namespace
-
-std::unique_ptr<QaoaFastSimulatorBase> choose_simulator(const TermList& terms,
-                                                        std::string_view name) {
-  return std::make_unique<FurQaoaSimulator>(
-      terms, config_for_name(name, MixerType::X, -1));
-}
-
-std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xyring(
-    const TermList& terms, std::string_view name, int initial_weight) {
-  return std::make_unique<FurQaoaSimulator>(
-      terms, config_for_name(name, MixerType::XYRing, initial_weight));
-}
-
-std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xycomplete(
-    const TermList& terms, std::string_view name, int initial_weight) {
-  return std::make_unique<FurQaoaSimulator>(
-      terms, config_for_name(name, MixerType::XYComplete, initial_weight));
-}
+// The choose_simulator family is defined in api/spec.cpp: every name now
+// parses through SimulatorSpec and every simulator is built by
+// make_simulator, so the string grammar has exactly one home.
 
 }  // namespace qokit

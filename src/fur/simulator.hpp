@@ -126,16 +126,17 @@ class FurQaoaSimulator final : public QaoaFastSimulatorBase {
   DiagonalU16 diag16_;  ///< populated iff cfg_.use_u16
 };
 
-/// Factory mirroring qokit.fur.choose_simulator. Recognized names:
-///   "auto"     threaded fused-kernel simulator (the default)
-///   "serial"   single-threaded (the paper's portable reference)
-///   "threaded" explicit OpenMP simulator
-///   "u16"      threaded with uint16-compressed diagonal
-///   "fwht"     threaded with the two-transform mixer backend (X mixer only)
+/// Factory mirroring qokit.fur.choose_simulator: a thin wrapper over
+/// make_simulator(terms, SimulatorSpec::parse(name)) — see api/spec.hpp
+/// for the full grammar. Recognized base names: "auto" (threaded
+/// fused-kernel, the default), "serial", "threaded", "u16", "fwht",
+/// "gatesim", and the distributed spellings "dist[:K[:strategy]]".
+/// Unknown names throw std::invalid_argument naming the offending token.
 std::unique_ptr<QaoaFastSimulatorBase> choose_simulator(
     const TermList& terms, std::string_view name = "auto");
 
-/// Ring-XY-mixer variant of choose_simulator.
+/// Ring-XY-mixer variant of choose_simulator (same grammar; the mixer and
+/// Dicke weight are forced onto the parsed spec).
 std::unique_ptr<QaoaFastSimulatorBase> choose_simulator_xyring(
     const TermList& terms, std::string_view name = "auto",
     int initial_weight = -1);

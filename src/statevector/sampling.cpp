@@ -51,8 +51,26 @@ std::map<std::uint64_t, int> StateSampler::sample_counts(int shots,
   return counts;
 }
 
+std::vector<std::uint64_t> StateSampler::sample(int shots,
+                                                std::uint64_t seed) const {
+  Rng rng(seed);
+  return sample(shots, rng);
+}
+
+std::map<std::uint64_t, int> StateSampler::sample_counts(
+    int shots, std::uint64_t seed) const {
+  Rng rng(seed);
+  return sample_counts(shots, rng);
+}
+
 std::vector<std::uint64_t> sample_states(const StateVector& sv, int shots,
                                          Rng& rng) {
+  return StateSampler(sv).sample(shots, rng);
+}
+
+std::vector<std::uint64_t> sample_states(const StateVector& sv, int shots,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
   return StateSampler(sv).sample(shots, rng);
 }
 

@@ -32,9 +32,20 @@ class StateSampler {
   /// negative `shots`; zero shots returns an empty vector.
   std::vector<std::uint64_t> sample(int shots, Rng& rng) const;
 
+  /// Seeded variant: draws from a fresh Rng(seed), so the stream is a
+  /// function of (state, shots, seed) alone. This is how the session API
+  /// threads SimulatorSpec::sample_seed through: two sessions with equal
+  /// specs — whatever their Exec policy, which never reaches the sampler —
+  /// produce identical sample streams.
+  std::vector<std::uint64_t> sample(int shots, std::uint64_t seed) const;
+
   /// Histogram of `shots` outcomes (bitstring -> count). Throws
   /// std::invalid_argument for negative `shots`.
   std::map<std::uint64_t, int> sample_counts(int shots, Rng& rng) const;
+
+  /// Seeded variant of sample_counts (fresh Rng(seed), as above).
+  std::map<std::uint64_t, int> sample_counts(int shots,
+                                             std::uint64_t seed) const;
 
   /// The outcome for a given uniform variate u in [0, 1]: inverse-CDF
   /// lookup. Exposed so edge cases (u rounding up to the full mass with
@@ -50,6 +61,10 @@ class StateSampler {
 /// Convenience wrapper: build a sampler and draw `shots` outcomes.
 std::vector<std::uint64_t> sample_states(const StateVector& sv, int shots,
                                          Rng& rng);
+
+/// Seeded convenience wrapper (fresh Rng(seed) per call).
+std::vector<std::uint64_t> sample_states(const StateVector& sv, int shots,
+                                         std::uint64_t seed);
 
 /// Shot-based objective estimate (what a real device or a sampling-based
 /// workflow would report instead of the exact inner product).

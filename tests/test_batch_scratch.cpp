@@ -111,6 +111,84 @@ TEST(BatchScratch, BatchSteadyStateAllocatesNoStatevectors) {
   EXPECT_EQ(aligned_allocation_count(), baseline);
 }
 
+TEST(BatchScratch, EvaluateIntoReusesResultBuffersAcrossCalls) {
+  // evaluate_into must reuse the caller's BatchResult: after the first
+  // call, repeated same-shape calls perform zero aligned allocations even
+  // with keep_states on (the per-schedule state slots are refilled by
+  // copy-assign, which reuses their buffers).
+  const TermList terms = labs_terms(9);
+  const FurQaoaSimulator sim(terms, {});
+  const BatchEvaluator evaluator(sim);
+  const std::vector<QaoaParams> batch = two_distinct_schedules();
+  BatchOptions opts;
+  opts.compute_overlap = true;
+  opts.keep_states = true;
+  opts.sample_shots = 8;
+
+  const BatchResult fresh = evaluator.evaluate(batch, opts);
+  BatchResult reused;
+  evaluator.evaluate_into(batch, opts, reused);
+  const std::uint64_t baseline = aligned_allocation_count();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    evaluator.evaluate_into(batch, opts, reused);
+    EXPECT_EQ(reused.expectations, fresh.expectations);
+    EXPECT_EQ(reused.overlaps, fresh.overlaps);
+    EXPECT_EQ(reused.samples, fresh.samples);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      EXPECT_EQ(reused.states[i].max_abs_diff(fresh.states[i]), 0.0);
+  }
+  EXPECT_EQ(aligned_allocation_count(), baseline);
+
+  // Dropping a request clears the stale field instead of leaving it.
+  opts.keep_states = false;
+  opts.sample_shots = 0;
+  evaluator.evaluate_into(batch, opts, reused);
+  EXPECT_TRUE(reused.states.empty());
+  EXPECT_TRUE(reused.samples.empty());
+  EXPECT_EQ(reused.expectations, fresh.expectations);
+}
+
+TEST(BatchScratch, SessionBatchSteadyStateAllocatesNoStatevectors) {
+  // The session wrapper behind qaoa_batch_evaluate reserves once via its
+  // scratch pool and reused BatchResult: repeated evaluate_batch calls
+  // (expectations + overlaps + samples) allocate no aligned memory.
+  const api::ProblemSession session = api::ProblemSession::labs(9);
+  const std::vector<QaoaParams> batch = two_distinct_schedules();
+  api::EvalRequest request;
+  request.overlap = true;
+  request.shots = 8;
+  const std::vector<api::EvalResult> first =
+      session.evaluate_batch(batch, request);
+  const std::uint64_t baseline = aligned_allocation_count();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const std::vector<api::EvalResult> again =
+        session.evaluate_batch(batch, request);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(*again[i].expectation, *first[i].expectation);
+      EXPECT_EQ(*again[i].overlap, *first[i].overlap);
+      EXPECT_EQ(*again[i].samples, *first[i].samples);
+    }
+  }
+  EXPECT_EQ(aligned_allocation_count(), baseline);
+}
+
+TEST(BatchScratch, U16PhaseTableIsReusedAcrossEvaluations) {
+  // The u16 phase path builds a 65536-entry factor table per layer; it
+  // must come from the per-thread reusable scratch, not a fresh aligned
+  // allocation, so the u16 backend meets the same zero-steady-state-
+  // allocation contract as every other backend.
+  const api::ProblemSession session =
+      api::ProblemSession::labs(9, SimulatorSpec::parse("u16"));
+  const std::vector<QaoaParams> batch = two_distinct_schedules();
+  const std::vector<double> first = session.expectations(batch);
+  (void)session.evaluate(batch.front());  // warm the scalar scratch too
+  const std::uint64_t baseline = aligned_allocation_count();
+  for (int repeat = 0; repeat < 3; ++repeat)
+    EXPECT_EQ(session.expectations(batch), first);
+  (void)session.evaluate(batch.front());
+  EXPECT_EQ(aligned_allocation_count(), baseline);
+}
+
 TEST(BatchScratch, HeuristicRespectsThreadCountAndSimulatorPreference) {
   const TermList terms = labs_terms(8);
   const FurQaoaSimulator sim(terms, {});

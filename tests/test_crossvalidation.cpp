@@ -131,6 +131,45 @@ INSTANTIATE_TEST_SUITE_P(Strategies, AlltoallInvolutionTest,
                                            AlltoallStrategy::Pairwise,
                                            AlltoallStrategy::Direct));
 
+class SessionLegacyAgreementTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionLegacyAgreementTest, SessionApiIsBitIdenticalToFreeFunctions) {
+  // The session API must not merely approximate the legacy surface: for
+  // every backend spelling, evaluating through a ProblemSession (cached
+  // diagonal, reused scratch) and through the legacy factories (fresh
+  // simulator per call) must produce the same bits.
+  const std::uint64_t seed = GetParam();
+  int n = 0;
+  const TermList terms = random_problem(seed, &n);
+  if (terms.num_qubits() < 4) GTEST_SKIP();
+  const auto [g, b] = random_schedule(seed, 1 + static_cast<int>(seed % 3));
+  QaoaParams params;
+  params.gammas = g;
+  params.betas = b;
+  const std::vector<QaoaParams> batch{params, params};
+
+  for (const char* name :
+       {"serial", "threaded", "u16", "fwht", "dist:2", "gatesim"}) {
+    SCOPED_TRACE(name);
+    const api::ProblemSession session(terms, SimulatorSpec::parse(name));
+    const auto legacy = choose_simulator(terms, name);
+    const StateVector ref = legacy->simulate_qaoa(g, b);
+
+    api::EvalRequest request;
+    request.overlap = true;
+    const api::EvalResult r = session.evaluate(params, request);
+    EXPECT_EQ(*r.expectation, legacy->get_expectation(ref));
+    EXPECT_EQ(*r.overlap, legacy->get_overlap(ref));
+    EXPECT_EQ(session.simulate(params).max_abs_diff(ref), 0.0);
+    EXPECT_EQ(session.expectations(batch),
+              api::qaoa_batch_expectation(terms, batch, name));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionLegacyAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 TEST(ProbabilitiesInPlace, MatchesAllocatingVariant) {
   const TermList terms = labs_terms(9);
   const FurQaoaSimulator sim(terms, {});

@@ -1,0 +1,26 @@
+// Header hygiene: the umbrella header must be the first include of a
+// translation unit and still compile cleanly -- this file is built with
+// -Werror on top of the project's -Wall -Wextra regardless of the
+// QOKIT_WERROR option (see CMakeLists.txt), so a missing transitive
+// include or a warning introduced in any public header fails the build
+// here even when the rest of the tree tolerates warnings.
+#include "api/qokit.hpp"  // must stay the first include
+
+#include <gtest/gtest.h>
+
+namespace qokit {
+namespace {
+
+TEST(HeaderHygiene, UmbrellaHeaderIsSelfContainedUnderWerror) {
+  // The assertion is the compile itself; touch a few declarations from
+  // each layer the umbrella re-exports so they cannot be dropped from it.
+  const SimulatorSpec spec = SimulatorSpec::parse("auto");
+  EXPECT_EQ(spec.backend, Backend::Auto);
+  const TermList terms = labs_terms(4);
+  const api::ProblemSession session(terms, spec);
+  EXPECT_EQ(session.num_qubits(), 4);
+  EXPECT_TRUE(session.evaluate(linear_ramp(1)).expectation.has_value());
+}
+
+}  // namespace
+}  // namespace qokit

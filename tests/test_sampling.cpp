@@ -4,8 +4,10 @@
 
 #include <cmath>
 
+#include "api/session.hpp"
 #include "common/bitops.hpp"
 #include "fur/simulator.hpp"
+#include "problems/labs.hpp"
 #include "problems/maxcut.hpp"
 
 namespace qokit {
@@ -99,6 +101,37 @@ TEST(Sampler, ShotCountsValidated) {
   EXPECT_EQ(z.shots, 0);
   EXPECT_EQ(z.mean, 0.0);
   EXPECT_EQ(z.std_error, 0.0);
+}
+
+TEST(Sampler, SeededOverloadsMatchExplicitRngStreams) {
+  const StateVector sv = StateVector::plus_state(6);
+  const StateSampler sampler(sv);
+  Rng rng(99);
+  const auto explicit_stream = sampler.sample(40, rng);
+  EXPECT_EQ(sampler.sample(40, std::uint64_t{99}), explicit_stream);
+  EXPECT_EQ(sample_states(sv, 40, std::uint64_t{99}), explicit_stream);
+  Rng rng2(99);
+  EXPECT_EQ(sampler.sample_counts(40, std::uint64_t{99}),
+            sampler.sample_counts(40, rng2));
+}
+
+TEST(Sampler, SessionSeedYieldsIdenticalStreamsAcrossExecModes) {
+  // The SimulatorSpec sampling seed threads through StateSampler, and the
+  // evolved amplitudes are Exec-independent (the SIMD layer's determinism
+  // guarantee), so sessions differing only in execution policy draw the
+  // same bitstrings -- the spec alone determines the stream.
+  const QaoaParams params{{0.4, -0.3}, {0.7, 0.2}};
+  const api::ProblemSession serial =
+      api::ProblemSession::labs(8, SimulatorSpec::parse("serial:seed=7"));
+  const api::ProblemSession threaded =
+      api::ProblemSession::labs(8, SimulatorSpec::parse("threaded:seed=7"));
+  const auto a = serial.sample(params, 50);
+  EXPECT_EQ(threaded.sample(params, 50), a);
+
+  api::EvalRequest request;
+  request.shots = 50;
+  EXPECT_EQ(*serial.evaluate(params, request).samples,
+            *threaded.evaluate(params, request).samples);
 }
 
 TEST(Sampler, QaoaSamplesConcentrateOnGoodCuts) {

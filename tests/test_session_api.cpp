@@ -1,0 +1,363 @@
+// Session-API acceptance tests: SimulatorSpec round-tripping and
+// rejection of unknown spellings at every entry point, and the
+// amortization contract of ProblemSession -- a 64-schedule parameter
+// sweep performs exactly one diagonal precompute and zero steady-state
+// statevector allocations (pinned via the instrumented AlignedAllocator
+// counter) while staying bit-identical to 64 legacy one-line calls on
+// every backend, including dist:K.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/qokit.hpp"
+
+namespace qokit {
+namespace {
+
+std::vector<QaoaParams> random_schedules(int count, int p,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QaoaParams> schedules(count);
+  for (QaoaParams& s : schedules) {
+    s.gammas.resize(p);
+    s.betas.resize(p);
+    for (int l = 0; l < p; ++l) {
+      s.gammas[l] = rng.uniform(-0.6, 0.6);
+      s.betas[l] = rng.uniform(-0.9, 0.9);
+    }
+  }
+  return schedules;
+}
+
+// ------------------------------------------------------------ spec
+
+TEST(SimulatorSpec, RoundTripsOverTheFullGrid) {
+  // parse(to_string(spec)) must reproduce every field, for every
+  // combination -- including ones make_simulator would reject (parse and
+  // to_string are string-level; semantic validation happens at build).
+  for (const Backend backend :
+       {Backend::Auto, Backend::Serial, Backend::Threaded, Backend::U16,
+        Backend::Fwht, Backend::Gatesim, Backend::Dist})
+    for (const MixerType mixer :
+         {MixerType::X, MixerType::XYRing, MixerType::XYComplete})
+      for (const AlltoallStrategy strategy :
+           {AlltoallStrategy::Staged, AlltoallStrategy::Pairwise,
+            AlltoallStrategy::Direct})
+        for (const Exec exec : {Exec::Serial, Exec::Parallel})
+          for (const int ranks : {2, 8})
+            for (const int weight : {-1, 3})
+              for (const SimdChoice simd :
+                   {SimdChoice::Auto, SimdChoice::Scalar})
+                for (const std::uint64_t seed : {1ull, 42ull}) {
+                  SimulatorSpec spec;
+                  spec.backend = backend;
+                  spec.mixer = mixer;
+                  spec.exec = exec;
+                  spec.ranks = ranks;
+                  spec.alltoall = strategy;
+                  spec.initial_weight = weight;
+                  spec.simd = simd;
+                  spec.sample_seed = seed;
+                  const std::string name = spec.to_string();
+                  EXPECT_EQ(SimulatorSpec::parse(name), spec) << name;
+                }
+}
+
+TEST(SimulatorSpec, ParsesLegacyAndExtendedSpellings) {
+  EXPECT_EQ(SimulatorSpec::parse("auto"), SimulatorSpec{});
+
+  const SimulatorSpec serial = SimulatorSpec::parse("serial");
+  EXPECT_EQ(serial.backend, Backend::Serial);
+  EXPECT_EQ(serial.exec, Exec::Serial);
+
+  const SimulatorSpec dist = SimulatorSpec::parse("dist:4:pairwise");
+  EXPECT_EQ(dist.backend, Backend::Dist);
+  EXPECT_EQ(dist.ranks, 4);
+  EXPECT_EQ(dist.alltoall, AlltoallStrategy::Pairwise);
+  EXPECT_EQ(dist.exec, Exec::Parallel);
+  EXPECT_EQ(dist.to_string(), "dist:4:pairwise");
+
+  const SimulatorSpec seeded = SimulatorSpec::parse("u16:seed=9");
+  EXPECT_EQ(seeded.backend, Backend::U16);
+  EXPECT_EQ(seeded.sample_seed, 9u);
+
+  const SimulatorSpec mixed =
+      SimulatorSpec::parse("serial:mixer=xyring:weight=3:simd=scalar");
+  EXPECT_EQ(mixed.mixer, MixerType::XYRing);
+  EXPECT_EQ(mixed.initial_weight, 3);
+  EXPECT_EQ(mixed.simd, SimdChoice::Scalar);
+
+  const SimulatorSpec dist_opts =
+      SimulatorSpec::parse("dist:4:pairwise:seed=7");
+  EXPECT_EQ(dist_opts.ranks, 4);
+  EXPECT_EQ(dist_opts.alltoall, AlltoallStrategy::Pairwise);
+  EXPECT_EQ(dist_opts.sample_seed, 7u);
+}
+
+TEST(SimulatorSpec, RejectsUnknownTokensNamingThem) {
+  EXPECT_THROW((void)SimulatorSpec::parse(""), std::invalid_argument);
+  struct Case {
+    const char* name;
+    const char* offending;  ///< token the error message must contain
+  };
+  for (const Case c :
+       {Case{"gpu", "gpu"}, Case{"Serial", "Serial"},
+        Case{"auto:fast", "fast"}, Case{"u16:bogus", "bogus"},
+        Case{"auto:mixer=ring", "mixer=ring"},
+        Case{"auto:exec=turbo", "exec=turbo"},
+        Case{"auto:seed=x", "seed=x"},
+        Case{"dist:4:pairwise:junk=1", "junk=1"},
+        Case{"auto:simd=sse", "simd=sse"}, Case{"dist:two", "two"}}) {
+    try {
+      (void)SimulatorSpec::parse(c.name);
+      FAIL() << "parse accepted '" << c.name << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.offending), std::string::npos)
+          << c.name << " -> " << e.what();
+    }
+  }
+}
+
+TEST(SimulatorSpec, EveryEntryPointRejectsUnknownNames) {
+  const Graph g = Graph::random_regular(6, 3, 1);
+  const TermList terms = maxcut_terms(g);
+  const PortfolioInstance inst = random_portfolio(6, 2, 0.5, 1);
+  const SatInstance sat = random_ksat(6, 3, 10, 1);
+  const std::vector<double> gs{0.3}, bs{0.5};
+  const std::vector<QaoaParams> batch = random_schedules(2, 1, 3);
+
+  EXPECT_THROW((void)api::qaoa_maxcut_expectation(g, gs, bs, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::qaoa_labs_evaluate(6, gs, bs, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::qaoa_portfolio_expectation(inst, gs, bs, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::qaoa_sat_evaluate(sat, gs, bs, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::qaoa_batch_expectation(terms, batch, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::qaoa_batch_evaluate(terms, batch, {}, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)api::optimize_qaoa(terms, 1, {}, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW(api::ProblemSession(terms, SimulatorSpec::parse("gpu")),
+               std::invalid_argument);
+  EXPECT_THROW((void)choose_simulator(terms, "gpu"), std::invalid_argument);
+  EXPECT_THROW((void)choose_simulator_xyring(terms, "gpu"),
+               std::invalid_argument);
+  EXPECT_THROW((void)choose_simulator_xycomplete(terms, "gpu"),
+               std::invalid_argument);
+}
+
+TEST(MakeSimulator, EnforcesSemanticConstraints) {
+  const TermList terms = labs_terms(6);
+  SimulatorSpec fwht_xy;
+  fwht_xy.backend = Backend::Fwht;
+  fwht_xy.mixer = MixerType::XYRing;
+  EXPECT_THROW((void)make_simulator(terms, fwht_xy), std::invalid_argument);
+  SimulatorSpec dist_xy;
+  dist_xy.backend = Backend::Dist;
+  dist_xy.mixer = MixerType::XYComplete;
+  EXPECT_THROW((void)make_simulator(terms, dist_xy), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ session
+
+TEST(ProblemSession, SweepDoesOnePrecomputeAndZeroSteadyStateAllocations) {
+  // The acceptance sweep: 64 schedules through one session, on every
+  // backend family including dist:K. After a warm-up sweep the aligned
+  // counter must not move at all -- no statevector allocation, no
+  // diagonal re-precompute -- and every value must equal the legacy
+  // one-line call (which rebuilds the simulator per query) bit for bit.
+  const int n = 10;
+  const Graph g = Graph::random_regular(n, 3, 5);
+  const std::vector<QaoaParams> schedules = random_schedules(64, 2, 7);
+
+  for (const char* name : {"serial", "threaded", "u16", "fwht", "dist:2",
+                           "dist:4:pairwise"}) {
+    SCOPED_TRACE(name);
+    std::vector<double> legacy(schedules.size());
+    for (std::size_t i = 0; i < schedules.size(); ++i)
+      legacy[i] = api::qaoa_maxcut_expectation(
+          g, schedules[i].gammas, schedules[i].betas, name);
+
+    const api::ProblemSession session =
+        api::ProblemSession::maxcut(g, SimulatorSpec::parse(name));
+    const double* diag_before = session.cost_diagonal().data();
+    const std::vector<double> warm = session.expectations(schedules);
+    EXPECT_EQ(warm, legacy);
+    (void)session.evaluate(schedules[0]);  // warm the scalar scratch too
+
+    const std::uint64_t baseline = aligned_allocation_count();
+    for (int sweep = 0; sweep < 3; ++sweep)
+      EXPECT_EQ(session.expectations(schedules), legacy);
+    // Scalar evaluates share the same scratch economy.
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(*session.evaluate(schedules[i % 64]).expectation,
+                legacy[i % 64]);
+    EXPECT_EQ(aligned_allocation_count(), baseline);
+    EXPECT_EQ(session.cost_diagonal().data(), diag_before);
+  }
+}
+
+TEST(ProblemSession, EvaluateBatchMatchesScalarEvaluateAndLegacyBatch) {
+  const TermList terms = labs_terms(9);
+  const std::vector<QaoaParams> schedules = random_schedules(6, 2, 11);
+  const api::ProblemSession session(terms, {});
+  api::EvalRequest request;
+  request.overlap = true;
+  request.shots = 16;
+
+  const std::vector<api::EvalResult> batch =
+      session.evaluate_batch(schedules, request);
+  ASSERT_EQ(batch.size(), schedules.size());
+
+  const BatchOptions legacy_opts{.compute_overlap = true,
+                                 .sample_shots = 16};
+  const BatchResult legacy =
+      api::qaoa_batch_evaluate(terms, schedules, legacy_opts);
+
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    EXPECT_EQ(*batch[i].expectation, legacy.expectations[i]) << i;
+    EXPECT_EQ(*batch[i].overlap, legacy.overlaps[i]) << i;
+    EXPECT_EQ(*batch[i].samples, legacy.samples[i]) << i;
+    // Scalar path agrees bit for bit (same seed: batch index 0 and the
+    // scalar call both draw from Rng(sample_seed + 0)).
+    const api::EvalResult scalar = session.evaluate(schedules[i], request);
+    EXPECT_EQ(*scalar.expectation, *batch[i].expectation) << i;
+    EXPECT_EQ(*scalar.overlap, *batch[i].overlap) << i;
+  }
+  const api::EvalResult first = session.evaluate(schedules[0], request);
+  EXPECT_EQ(*first.samples, *batch[0].samples);
+}
+
+TEST(ProblemSession, RequestFlagsControlResultFields) {
+  const api::ProblemSession session = api::ProblemSession::labs(8);
+  const QaoaParams params = random_schedules(1, 2, 13).front();
+
+  const api::EvalResult plain = session.evaluate(params);
+  EXPECT_TRUE(plain.expectation.has_value());
+  EXPECT_FALSE(plain.overlap.has_value());
+  EXPECT_FALSE(plain.samples.has_value());
+  EXPECT_FALSE(plain.timings.has_value());
+  EXPECT_FALSE(plain.params.has_value());
+
+  api::EvalRequest request;
+  request.expectation = false;
+  request.overlap = true;
+  request.shots = 8;
+  request.timings = true;
+  const api::EvalResult full = session.evaluate(params, request);
+  EXPECT_FALSE(full.expectation.has_value());
+  EXPECT_TRUE(full.overlap.has_value());
+  ASSERT_TRUE(full.samples.has_value());
+  EXPECT_EQ(full.samples->size(), 8u);
+  ASSERT_TRUE(full.timings.has_value());
+  EXPECT_EQ(full.timings->precompute_ns, session.precompute_ns());
+  EXPECT_GT(full.timings->simulate_ns, 0u);
+
+  // Negative shot counts throw on every path, as they always have.
+  api::EvalRequest negative;
+  negative.shots = -1;
+  const std::vector<QaoaParams> batch{params};
+  EXPECT_THROW((void)session.evaluate(params, negative),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.evaluate_batch(batch, negative),
+               std::invalid_argument);
+  EXPECT_THROW((void)session.sample(params, -1), std::invalid_argument);
+  BatchOptions bad;
+  bad.sample_shots = -1;
+  EXPECT_THROW((void)api::qaoa_batch_evaluate(session.terms(), batch, bad),
+               std::invalid_argument);
+}
+
+TEST(ProblemSession, OptimizeMatchesLegacyOneLineOptimizer) {
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 9));
+  const NelderMeadOptions nm{.max_evals = 120};
+  const api::OptimizeOutcome legacy =
+      api::optimize_qaoa(terms, 2, nm, "serial");
+
+  const api::ProblemSession session(terms, SimulatorSpec::parse("serial"));
+  api::OptimizerSpec optimizer;
+  optimizer.p = 2;
+  optimizer.nelder_mead = nm;
+  const api::EvalResult r = session.optimize(optimizer);
+
+  EXPECT_EQ(*r.expectation, legacy.fval);
+  EXPECT_EQ(r.params->gammas, legacy.params.gammas);
+  EXPECT_EQ(r.params->betas, legacy.params.betas);
+  EXPECT_EQ(*r.evaluations, legacy.evaluations);
+  EXPECT_EQ(*r.batches, legacy.batches);
+  EXPECT_TRUE(r.iterations.has_value());
+  EXPECT_TRUE(r.converged.has_value());
+
+  api::OptimizerSpec invalid_depth;
+  invalid_depth.p = 0;
+  EXPECT_THROW((void)session.optimize(invalid_depth), std::invalid_argument);
+  api::OptimizerSpec mismatched;
+  mismatched.p = 3;
+  mismatched.initial = linear_ramp(2);
+  EXPECT_THROW((void)session.optimize(mismatched), std::invalid_argument);
+}
+
+TEST(ProblemSession, GatesimBackendAgreesWithFastSimulators) {
+  const TermList terms = maxcut_terms(Graph::random_regular(8, 3, 2));
+  const QaoaParams params = random_schedules(1, 2, 17).front();
+  const api::ProblemSession fast(terms, SimulatorSpec::parse("serial"));
+  const api::ProblemSession gates(terms, SimulatorSpec::parse("gatesim"));
+  // Gate-at-a-time evolution agrees to fp tolerance, and the adapter's
+  // state is exactly what the legacy GateQaoaSimulator produces.
+  EXPECT_NEAR(*gates.evaluate(params).expectation,
+              *fast.evaluate(params).expectation, 1e-9);
+  const GateQaoaSimulator legacy(terms, {});
+  EXPECT_EQ(gates.simulate(params).max_abs_diff(
+                legacy.simulate_qaoa(params.gammas, params.betas)),
+            0.0);
+}
+
+TEST(ProblemSession, EqualSpecsProduceIdenticalSampleStreamsAcrossExec) {
+  // The sampling seed travels in the spec, and the evolved amplitudes are
+  // Exec-independent (the SIMD layer's determinism guarantee), so serial
+  // and threaded sessions with the same seed draw identical streams.
+  const QaoaParams params = random_schedules(1, 2, 19).front();
+  api::ProblemSession serial =
+      api::ProblemSession::labs(9, SimulatorSpec::parse("serial:seed=123"));
+  api::ProblemSession threaded = api::ProblemSession::labs(
+      9, SimulatorSpec::parse("threaded:seed=123"));
+  const auto a = serial.sample(params, 64);
+  const auto b = threaded.sample(params, 64);
+  EXPECT_EQ(a, b);
+  // And a fresh session with the same spec reproduces the stream.
+  api::ProblemSession again =
+      api::ProblemSession::labs(9, SimulatorSpec::parse("serial:seed=123"));
+  EXPECT_EQ(again.sample(params, 64), a);
+  // A different seed must (with overwhelming probability) differ.
+  api::ProblemSession other =
+      api::ProblemSession::labs(9, SimulatorSpec::parse("serial:seed=124"));
+  EXPECT_NE(other.sample(params, 64), a);
+}
+
+TEST(ProblemSession, PortfolioBuilderDefaultsToInSectorXyMixer) {
+  const PortfolioInstance inst = random_portfolio(8, 3, 0.5, 4);
+  const api::ProblemSession session = api::ProblemSession::portfolio(inst);
+  EXPECT_EQ(session.spec().mixer, MixerType::XYRing);
+  EXPECT_EQ(session.spec().initial_weight, 3);
+
+  const QaoaParams params = random_schedules(1, 2, 23).front();
+  api::EvalRequest request;
+  request.overlap = true;
+  request.overlap_weight = inst.budget;
+  const api::EvalResult r = session.evaluate(params, request);
+  // Legacy path: the xyring factory with the same weight.
+  const auto legacy = choose_simulator_xyring(portfolio_terms(inst), "auto",
+                                              inst.budget);
+  const StateVector ref = legacy->simulate_qaoa(params.gammas, params.betas);
+  EXPECT_EQ(*r.expectation, legacy->get_expectation(ref));
+  EXPECT_EQ(*r.overlap, legacy->get_overlap(ref, inst.budget));
+  // The evolved state never leaves the budget sector.
+  EXPECT_NEAR(session.simulate(params).weight_sector_mass(inst.budget), 1.0,
+              1e-10);
+}
+
+}  // namespace
+}  // namespace qokit
