@@ -95,8 +95,30 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
   // arithmetic of a fresh simulator's simulate_qaoa, without its
   // allocations.
   scratch_ = evaluator_.initial_state();
-  scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), schedule.gammas,
-                                      schedule.betas);
+  std::vector<std::uint64_t> layer_ns;
+  if (request.timings) {
+    // Evolve layer by layer so the per-layer breakdown can be recorded.
+    // Chaining p one-layer simulate_qaoa_from calls performs exactly the
+    // arithmetic of the single p-layer call (the state is moved through),
+    // so timed and untimed evaluations stay bit-identical. The one-layer
+    // slices always match pairwise, so the whole-schedule length check
+    // must happen here (the untimed path gets it from the simulator).
+    if (schedule.gammas.size() != schedule.betas.size())
+      throw std::invalid_argument(
+          "simulate_qaoa: gammas/betas length mismatch");
+    const std::span<const double> gammas(schedule.gammas);
+    const std::span<const double> betas(schedule.betas);
+    layer_ns.reserve(gammas.size());
+    for (std::size_t l = 0; l < gammas.size(); ++l) {
+      const steady::time_point tl = steady::now();
+      scratch_ = sim_->simulate_qaoa_from(
+          std::move(scratch_), gammas.subspan(l, 1), betas.subspan(l, 1));
+      layer_ns.push_back(elapsed_ns(tl));
+    }
+  } else {
+    scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), schedule.gammas,
+                                        schedule.betas);
+  }
   const std::uint64_t simulate_ns = elapsed_ns(t0);
   const steady::time_point t1 = steady::now();
   if (request.expectation) out.expectation = sim_->get_expectation(scratch_);
@@ -106,7 +128,8 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
     out.samples = StateSampler(scratch_).sample(request.shots,
                                                 spec_.sample_seed);
   if (request.timings)
-    out.timings = Timings{precompute_ns_, simulate_ns, elapsed_ns(t1)};
+    out.timings = Timings{precompute_ns_, simulate_ns, elapsed_ns(t1),
+                          std::move(layer_ns)};
   return out;
 }
 

@@ -43,6 +43,15 @@ struct Timings {
                                   ///< interleaved there)
   std::uint64_t reduce_ns = 0;    ///< scoring: expectation / overlap /
                                   ///< sampling (0 for batched calls)
+  /// Per-layer breakdown of simulate_ns (scalar evaluate() only; empty
+  /// for batched calls): layer_ns[l] is the wall time of layer l's fused
+  /// (or unfused) pass sequence, measured by chaining one-layer
+  /// simulate_qaoa_from calls (bit-identical to the single call). Each
+  /// entry includes that call's dispatch overhead — in particular the
+  /// dist:K backend re-spawns its rank team per call, so its layer_ns is
+  /// team setup + compute; compare single-node numbers, not dist ones,
+  /// against BENCH_pipeline.json.
+  std::vector<std::uint64_t> layer_ns{};
 };
 
 /// What an evaluate() / evaluate_batch() call should compute.

@@ -109,6 +109,10 @@ bool apply_option(std::string_view token, std::string_view name,
     else if (value == "avx2") spec->simd = SimdChoice::Avx2, ok = true;
   } else if (key == "seed") {
     ok = parse_int(value, &spec->sample_seed);
+  } else if (key == "pipeline") {
+    if (value == "auto") spec->pipeline = pipeline::PipelineMode::Auto, ok = true;
+    else if (value == "on") spec->pipeline = pipeline::PipelineMode::On, ok = true;
+    else if (value == "off") spec->pipeline = pipeline::PipelineMode::Off, ok = true;
   }
   if (!ok) bad_token(token, name);
   return true;
@@ -196,6 +200,9 @@ std::string SimulatorSpec::to_string() const {
     out += ":simd=";
     out += simd_token(simd);
   }
+  if (pipeline != pipeline::PipelineMode::Auto)
+    out += pipeline == pipeline::PipelineMode::On ? ":pipeline=on"
+                                                  : ":pipeline=off";
   if (sample_seed != 1) out += ":seed=" + std::to_string(sample_seed);
   return out;
 }
@@ -288,7 +295,10 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
         throw std::invalid_argument(
             "make_simulator: the dist backend supports only the X mixer");
       return std::make_unique<DistributedFurSimulator>(
-          terms, DistConfig{.ranks = spec.ranks, .strategy = spec.alltoall});
+          terms,
+          DistConfig{.ranks = spec.ranks,
+                     .strategy = spec.alltoall,
+                     .pipeline = {.mode = spec.pipeline}});
     case Backend::Gatesim:
       return std::make_unique<GateSimAdapter>(terms, spec);
     default: {
@@ -296,6 +306,7 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
       cfg.exec = spec.exec;
       cfg.mixer = spec.mixer;
       cfg.initial_weight = spec.initial_weight;
+      cfg.pipeline.mode = spec.pipeline;
       if (spec.backend == Backend::U16) cfg.use_u16 = true;
       if (spec.backend == Backend::Fwht) {
         if (spec.mixer != MixerType::X)

@@ -19,6 +19,7 @@
 #include "dist/alltoall.hpp"
 #include "fur/mixers.hpp"
 #include "fur/simulator.hpp"
+#include "pipeline/layer_plan.hpp"
 #include "terms/term.hpp"
 
 namespace qokit {
@@ -59,6 +60,7 @@ enum class SimdChoice {
 ///            | "weight="   <int>                (Dicke weight, xy mixers)
 ///            | "simd="     ("auto" | "scalar" | "avx2")
 ///            | "seed="     <uint64>             (sampling seed)
+///            | "pipeline=" ("auto" | "on" | "off")
 ///
 /// Any other token throws std::invalid_argument naming the offending
 /// token -- no spelling silently falls back to a default simulator.
@@ -83,6 +85,11 @@ struct SimulatorSpec {
   /// ignores it.
   SimdChoice simd = SimdChoice::Auto;
   std::uint64_t sample_seed = 1;  ///< base seed for drawn bitstrings
+  /// Cache-blocked fused layer execution (src/pipeline/). Auto follows
+  /// QOKIT_PIPELINE (on unless the env says off); Off pins the unfused
+  /// oracle path, bit-identical by contract. Ignored by Backend::Gatesim
+  /// (gate-at-a-time evolution has no layer plan).
+  pipeline::PipelineMode pipeline = pipeline::PipelineMode::Auto;
 
   /// Parse a spelling per the grammar above. Throws std::invalid_argument
   /// naming the offending token on anything unrecognized.

@@ -18,6 +18,11 @@
 // Either way the per-schedule arithmetic is the exact code path of a
 // sequential simulate_qaoa loop, so results are bit-identical to it (the
 // cross-validation suite asserts equality, not tolerance).
+//
+// The fused layer pipeline (src/pipeline/) is inherited for free: the
+// LayerPlan lives in the wrapped simulator, built once at construction, so
+// every schedule in every batch replays the same cache-blocked pass
+// schedule with zero per-schedule planning cost.
 #pragma once
 
 #include <cstdint>

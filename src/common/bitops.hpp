@@ -48,6 +48,15 @@ inline std::uint64_t insert_zero_bit(std::uint64_t k, int q) noexcept {
   return ((k >> q) << (q + 1)) | low;
 }
 
+/// Inverse of insert_zero_bit: delete bit `q` from `x`, closing the gap.
+/// For an amplitude index with bit q clear this recovers the pair index k
+/// with insert_zero_bit(k, q) == x; the tiled butterfly passes use it to
+/// translate a chunk base address into a kernel pair range.
+inline std::uint64_t remove_bit(std::uint64_t x, int q) noexcept {
+  const std::uint64_t low = x & ((1ull << q) - 1ull);
+  return ((x >> (q + 1)) << q) | low;
+}
+
 /// Expand a (n-2)-bit index into an n-bit index with 0s inserted at bit
 /// positions `q_lo` < `q_hi`. Enumerates the 4-element orbits of a two-qubit
 /// gate. Precondition: q_lo < q_hi.

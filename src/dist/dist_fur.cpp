@@ -9,6 +9,7 @@
 #include "common/bitops.hpp"
 #include "diagonal/ops.hpp"
 #include "fur/su2.hpp"
+#include "pipeline/layer_exec.hpp"
 
 namespace qokit {
 
@@ -74,6 +75,15 @@ DistributedFurSimulator::DistributedFurSimulator(const TermList& terms,
       out[base + i] = terms.evaluate(base + i);
   });
   diag_ = CostDiagonal::from_values(n, std::move(values));
+  // Each rank's per-layer work is phase + X mixer on a 2^(n - g) slice:
+  // plan it once for the local qubit count, plus a butterfly-only sweep
+  // plan for the post-alltoall mix of the swapped-in global qubits.
+  const int nl = n - log2_ranks_;
+  local_plan_ = pipeline::LayerPlan::build(nl, MixerType::X,
+                                           MixerBackend::Fused,
+                                           cfg_.pipeline);
+  global_sweep_plan_ = pipeline::LayerPlan::build_rx_sweep(
+      nl, nl - log2_ranks_, nl, cfg_.pipeline);
 }
 
 StateVector DistributedFurSimulator::initial_state() const {
@@ -91,13 +101,35 @@ StateVector DistributedFurSimulator::simulate_qaoa_from(
   cdouble* data = state.data();
   const double* costs = diag_.data();
   const int n = num_qubits();
+  const int g = log2_ranks_;
   world_.run([&](Communicator& comm) {
     const std::uint64_t base = static_cast<std::uint64_t>(comm.rank()) * local;
     cdouble* slice = data + base;
     const double* diag_slice = costs + base;
-    // Algorithm 4: per layer one local phase multiply against the cached
-    // slice and one distributed mixer (local qubits in place, global ones
-    // through the alltoall reordering).
+    if (local_plan_.active()) {
+      // Fused Algorithm 4: the rank-local phase + low-qubit mixing run as
+      // tiled passes over the slice, and after the alltoall reorder the
+      // swapped-in global qubits get the same strided tiling. Exec::Serial
+      // throughout — the K rank threads are the parallelism.
+      const pipeline::PhaseCtx ctx{.costs = diag_slice};
+      const std::uint64_t block = local >> g;
+      for (std::size_t l = 0; l < gammas.size(); ++l) {
+        pipeline::run_layer(local_plan_, slice, local, ctx, gammas[l],
+                            betas[l], Exec::Serial);
+        if (g > 0) {
+          comm.alltoall(slice, block);
+          pipeline::run_sweep(global_sweep_plan_, slice, local,
+                              std::cos(betas[l]), std::sin(betas[l]),
+                              Exec::Serial);
+          comm.alltoall(slice, block);
+        }
+      }
+      return;
+    }
+    // Algorithm 4, unfused (the pipeline's oracle): per layer one local
+    // phase multiply against the cached slice and one distributed mixer
+    // (local qubits in place, global ones through the alltoall
+    // reordering).
     for (std::size_t l = 0; l < gammas.size(); ++l) {
       apply_phase_slice(slice, diag_slice, local, gammas[l], Exec::Serial);
       dist::apply_mixer_x(comm, slice, local, n, betas[l]);

@@ -49,6 +49,10 @@ double expectation_slice(Communicator& comm, const cdouble* local,
 struct DistConfig {
   int ranks = 2;  ///< virtual rank count K; must be a power of two
   AlltoallStrategy strategy = AlltoallStrategy::Staged;
+  /// Fused layer execution on the rank-local slices (phase fused into the
+  /// first local mixer sweep, tiled butterflies between the alltoall
+  /// reorders); bit-identical to the unfused per-rank loop.
+  pipeline::PipelineOptions pipeline{};
 };
 
 /// Algorithm 4 on K virtual ranks. Drop-in replacement for
@@ -89,11 +93,20 @@ class DistributedFurSimulator final : public QaoaFastSimulatorBase {
   /// log2 of the rank count: how many qubits live in the rank index.
   int global_qubits() const { return log2_ranks_; }
 
+  /// The fused plan each rank runs on its local slice (built once, for
+  /// the local qubit count); inactive when the pipeline is disabled.
+  const pipeline::LayerPlan& layer_plan() const { return local_plan_; }
+
  private:
   DistConfig cfg_;
   int log2_ranks_;
   VirtualRankWorld world_;
   CostDiagonal diag_;
+  pipeline::LayerPlan local_plan_;
+  /// Butterfly-only plan for the post-alltoall mix of the swapped-in
+  /// global qubits (local positions [nl - g, nl)); built once alongside
+  /// local_plan_ so the tiling rules have one home (LayerPlan).
+  pipeline::LayerPlan global_sweep_plan_;
 };
 
 /// Factory matching choose_simulator's shape for the distributed backend.

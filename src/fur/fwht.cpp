@@ -13,6 +13,13 @@ void fwht(StateVector& sv, Exec exec) {
     kern::hadamard(sv.data(), sv.size(), q, exec);
 }
 
+void fill_x_mixer_phase_table(int num_qubits, double beta, cdouble* table) {
+  for (int w = 0; w <= num_qubits; ++w) {
+    const double ang = -beta * (num_qubits - 2 * w);
+    table[w] = cdouble(std::cos(ang), std::sin(ang));
+  }
+}
+
 void apply_mixer_x_fwht(StateVector& sv, double beta, Exec exec) {
   const int n = sv.num_qubits();
   fwht(sv, exec);
@@ -23,10 +30,7 @@ void apply_mixer_x_fwht(StateVector& sv, double beta, Exec exec) {
   // by the StateVector qubit ceiling) keeps this allocation-free for the
   // scratch-pinning contracts of the batch engine.
   cdouble table[kMaxQubits + 1];
-  for (int w = 0; w <= n; ++w) {
-    const double ang = -beta * (n - 2 * w);
-    table[w] = cdouble(std::cos(ang), std::sin(ang));
-  }
+  fill_x_mixer_phase_table(n, beta, table);
   simd::apply_phase_popcount(sv.data(), 0, sv.size(), table, exec);
   fwht(sv, exec);
 }

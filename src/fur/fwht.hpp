@@ -23,4 +23,11 @@ void fwht(StateVector& sv, Exec exec = Exec::Parallel);
 void apply_mixer_x_fwht(StateVector& sv, double beta,
                         Exec exec = Exec::Parallel);
 
+/// The Hadamard-frame diagonal of the X mixer, tabulated by Hamming
+/// weight: table[w] = e^{-i beta (n - 2w)} for w = 0..num_qubits (the
+/// caller provides num_qubits + 1 slots, at most kMaxQubits + 1). Shared
+/// by the unfused mixer above and the fused layer pipeline so both gather
+/// bit-identical factors.
+void fill_x_mixer_phase_table(int num_qubits, double beta, cdouble* table);
+
 }  // namespace qokit

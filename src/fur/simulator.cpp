@@ -2,8 +2,10 @@
 
 #include <stdexcept>
 
+#include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "diagonal/ops.hpp"
+#include "pipeline/layer_exec.hpp"
 
 namespace qokit {
 
@@ -41,12 +43,17 @@ std::vector<double> per_layer_expectations(const QaoaFastSimulatorBase& sim,
 
 FurQaoaSimulator::FurQaoaSimulator(const TermList& terms, FurConfig cfg)
     : cfg_(cfg),
-      diag_(CostDiagonal::precompute(terms, cfg.exec, cfg.precompute)) {
+      diag_(CostDiagonal::precompute(terms, cfg.exec, cfg.precompute)),
+      plan_(pipeline::LayerPlan::build(diag_.num_qubits(), cfg.mixer,
+                                       cfg.backend, cfg.pipeline)) {
   if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
 }
 
 FurQaoaSimulator::FurQaoaSimulator(CostDiagonal costs, FurConfig cfg)
-    : cfg_(cfg), diag_(std::move(costs)) {
+    : cfg_(cfg),
+      diag_(std::move(costs)),
+      plan_(pipeline::LayerPlan::build(diag_.num_qubits(), cfg.mixer,
+                                       cfg.backend, cfg.pipeline)) {
   if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
 }
 
@@ -64,8 +71,30 @@ StateVector FurQaoaSimulator::simulate_qaoa_from(
     throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
   if (state.num_qubits() != num_qubits())
     throw std::invalid_argument("simulate_qaoa: state size mismatch");
-  // Algorithm 3: per layer, one elementwise phase multiply from the cached
-  // diagonal and one in-place mixer transform. Nothing scales with |T|.
+  if (plan_.active()) {
+    // Fused layer pipeline: the phase multiply rides the first mixer
+    // sweep and butterflies run in cache-blocked tiles, cutting full
+    // sweeps per layer from n + 1 to plan_.full_sweeps() — bit-identical
+    // to the unfused loop below (the traversal changes, the per-amplitude
+    // arithmetic does not).
+    thread_local aligned_vector<cdouble> lut;  // u16 per-gamma factors
+    for (std::size_t l = 0; l < gammas.size(); ++l) {
+      pipeline::PhaseCtx ctx;
+      if (cfg_.use_u16) {
+        diag16_.phase_table_into(gammas[l], lut);
+        ctx.codes = diag16_.codes();
+        ctx.table = lut.data();
+      } else {
+        ctx.costs = diag_.data();
+      }
+      pipeline::run_layer(plan_, state.data(), state.size(), ctx, gammas[l],
+                          betas[l], cfg_.exec);
+    }
+    return state;
+  }
+  // Algorithm 3, unfused (the pipeline's correctness oracle): per layer,
+  // one elementwise phase multiply from the cached diagonal and one
+  // in-place mixer transform. Nothing scales with |T|.
   for (std::size_t l = 0; l < gammas.size(); ++l) {
     if (cfg_.use_u16)
       apply_phase(state, diag16_, gammas[l], cfg_.exec);

@@ -16,6 +16,7 @@
 #include "diagonal/cost_diagonal.hpp"
 #include "diagonal/diagonal_u16.hpp"
 #include "fur/mixers.hpp"
+#include "pipeline/layer_plan.hpp"
 #include "statevector/state.hpp"
 #include "terms/term.hpp"
 
@@ -29,6 +30,10 @@ struct FurConfig {
   bool use_u16 = false;             ///< store/apply the uint16 diagonal
   int initial_weight = -1;          ///< Dicke weight for xy mixers; -1 = n/2
   PrecomputeStrategy precompute = PrecomputeStrategy::ElementMajor;
+  /// Cache-blocked fused layer execution (src/pipeline/): on by default
+  /// for X-mixer layers, bit-identical to the unfused loop, which remains
+  /// selectable as the oracle via mode = Off or QOKIT_PIPELINE=off.
+  pipeline::PipelineOptions pipeline{};
 };
 
 /// Abstract QAOA simulator: owns the precomputed cost diagonal and turns
@@ -120,10 +125,17 @@ class FurQaoaSimulator final : public QaoaFastSimulatorBase {
   /// The compressed diagonal (valid only when cfg.use_u16).
   const DiagonalU16& diagonal_u16() const;
 
+  /// The fused layer plan built at construction (once per simulator, and
+  /// therefore once per session/batch — every schedule reuses it). When
+  /// inactive — pipeline disabled, or an xy mixer — simulate_qaoa_from
+  /// runs the unfused loop and fallback_reason() says why.
+  const pipeline::LayerPlan& layer_plan() const { return plan_; }
+
  private:
   FurConfig cfg_;
   CostDiagonal diag_;
   DiagonalU16 diag16_;  ///< populated iff cfg_.use_u16
+  pipeline::LayerPlan plan_;
 };
 
 /// Factory mirroring qokit.fur.choose_simulator: a thin wrapper over

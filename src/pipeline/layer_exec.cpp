@@ -1,0 +1,190 @@
+// LayerPlan executor: drives the active SIMD kernel family over
+// cache-resident units. Bit-identity with the unfused path rests on two
+// alignment invariants that every sub-range issued here preserves:
+//
+//  1. Elementwise kernels (phase / phase_table / phase_popcount) are
+//     called on ranges whose start is a multiple of 4 and whose length is
+//     a multiple of 4 (or the single whole-array call when the array is
+//     shorter) — so the AVX2 kernels partition elements into the same
+//     absolute groups of 4 as dispatch.cpp's kSimdBlock blocks, and the
+//     same elements take the vector vs libm-fallback path.
+//  2. Butterfly kernels are called on pair ranges with even start and even
+//     length that never split a contiguous run mid-vector — so the same
+//     absolute pairs land in the same 2-pair vector groups and no pair
+//     falls to a (differently rounded) scalar tail in one decomposition
+//     but not the other.
+//
+// Given those, per-amplitude results depend only on (input values, qubit,
+// dispatch level) — not on traversal order — and each pass applies its
+// operations to each amplitude in exactly the unfused order (phase first,
+// then butterflies by ascending qubit).
+#include "pipeline/layer_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/parallel.hpp"
+#include "fur/fwht.hpp"
+#include "simd/kernels.hpp"
+
+namespace qokit::pipeline {
+namespace {
+
+using simd::detail::Kernels;
+
+/// Parallelize over independent cache-units. Units touch disjoint
+/// amplitudes and carry no reductions, so any thread count (and Serial)
+/// produces the same bits; the grain check mirrors parallel_for_blocks.
+template <class F>
+void for_units(Exec exec, std::int64_t units, std::int64_t unit_amps, F&& f) {
+  if (units <= 0) return;
+  if (exec == Exec::Serial || units < 2 ||
+      units * unit_amps < kParallelGrain) {
+    for (std::int64_t u = 0; u < units; ++u) f(u);
+    return;
+  }
+  QOKIT_OMP_PRAGMA(omp parallel for schedule(static))
+  for (std::int64_t u = 0; u < units; ++u) f(u);
+}
+
+/// The diagonal phase on amp[base, base+count), double or u16 path.
+void phase_unit(const Kernels& k, cdouble* amp, const PhaseCtx& ctx,
+                std::uint64_t base, std::uint64_t count, double gamma) {
+  if (ctx.codes)
+    k.phase_table(amp + base, ctx.codes + base, ctx.table, count);
+  else
+    k.phase(amp + base, ctx.costs + base, count, gamma);
+}
+
+/// One butterfly qubit over the contiguous tile [base, base+count): for
+/// q < log2(count) and base a multiple of count, the pair indices covering
+/// exactly this tile are [base/2, (base+count)/2).
+void butterfly_tile(const Kernels& k, cdouble* amp, std::uint64_t base,
+                    std::uint64_t count, int q, PassButterfly butterfly,
+                    double c, double s) {
+  const std::uint64_t kb = base >> 1;
+  const std::uint64_t ke = (base + count) >> 1;
+  if (butterfly == PassButterfly::Rx)
+    k.rx_pairs(amp, q, kb, ke, c, s);
+  else
+    k.hadamard_pairs(amp, q, kb, ke);
+}
+
+void run_tile_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
+                   std::uint64_t n_amps, const PhaseCtx& ctx, double gamma,
+                   const cdouble* pop_table, double c, double s, Exec exec) {
+  const std::uint64_t tile =
+      std::min<std::uint64_t>(n_amps, 1ull << p.width_log2);
+  const std::int64_t units = static_cast<std::int64_t>(n_amps / tile);
+  for_units(exec, units, static_cast<std::int64_t>(tile),
+            [&](std::int64_t u) {
+              const std::uint64_t base =
+                  static_cast<std::uint64_t>(u) * tile;
+              int q = p.q_begin;
+              if (p.pre == PassPhase::Diagonal) {
+                if (!ctx.codes && p.butterfly == PassButterfly::Rx &&
+                    q == 0 && p.q_end > 0) {
+                  // The fused family kernel: phase + the qubit-0 butterfly
+                  // in one read/write of the tile.
+                  k.phase_rx(amp + base, ctx.costs + base, tile, gamma, c,
+                             s);
+                  q = 1;
+                } else {
+                  phase_unit(k, amp, ctx, base, tile, gamma);
+                }
+              }
+              for (; q < p.q_end; ++q)
+                butterfly_tile(k, amp, base, tile, q, p.butterfly, c, s);
+              if (p.post == PassPhase::Popcount)
+                k.phase_popcount(amp + base, base, tile, pop_table);
+            });
+}
+
+void run_strided_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
+                      std::uint64_t n_amps, const cdouble* pop_table,
+                      double c, double s, Exec exec) {
+  const int a = p.q_begin;
+  const int b = p.q_end;
+  const std::uint64_t chunk = 1ull << p.width_log2;  // width_log2 <= a
+  const std::uint64_t row = 1ull << a;               // row stride
+  const std::uint64_t rows = 1ull << (b - a);
+  const std::int64_t cols = static_cast<std::int64_t>(row >> p.width_log2);
+  const std::int64_t blocks = static_cast<std::int64_t>(n_amps >> b);
+  const std::int64_t unit_amps = static_cast<std::int64_t>(rows * chunk);
+  for_units(
+      exec, blocks * cols, unit_amps, [&](std::int64_t u) {
+        const std::uint64_t blk = static_cast<std::uint64_t>(u / cols) << b;
+        const std::uint64_t col = static_cast<std::uint64_t>(u % cols)
+                                  << p.width_log2;
+        // All g butterflies on the cache-resident 2^g-row working set;
+        // partners for qubit q = a + j are rows r and r | 2^j, both inside
+        // the set, so ascending-q order sees exactly the unfused dataflow.
+        for (int q = a; q < b; ++q) {
+          const std::uint64_t rbit = 1ull << (q - a);
+          for (std::uint64_t r = 0; r < rows; ++r) {
+            if (r & rbit) continue;
+            const std::uint64_t i0 = blk + r * row + col;
+            const std::uint64_t kb = remove_bit(i0, q);
+            if (p.butterfly == PassButterfly::Rx)
+              k.rx_pairs(amp, q, kb, kb + chunk, c, s);
+            else
+              k.hadamard_pairs(amp, q, kb, kb + chunk);
+          }
+        }
+        if (p.post == PassPhase::Popcount)
+          for (std::uint64_t r = 0; r < rows; ++r) {
+            const std::uint64_t i0 = blk + r * row + col;
+            k.phase_popcount(amp + i0, i0, chunk, pop_table);
+          }
+      });
+}
+
+}  // namespace
+
+void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               const PhaseCtx& phase, double gamma, double beta, Exec exec) {
+  if (!plan.active())
+    throw std::logic_error("pipeline::run_layer: plan is not active: " +
+                           plan.fallback_reason());
+  if (n_amps != (1ull << plan.num_qubits()))
+    throw std::invalid_argument("pipeline::run_layer: array size mismatch");
+  if (!phase.costs && !(phase.codes && phase.table))
+    throw std::invalid_argument(
+        "pipeline::run_layer: PhaseCtx needs costs or codes+table");
+  const Kernels& k = simd::detail::active_kernels();
+  const double c = std::cos(beta);
+  const double s = std::sin(beta);
+  cdouble pop_table[kMaxQubits + 1];
+  for (const LayerPass& p : plan.passes())
+    if (p.post == PassPhase::Popcount) {
+      fill_x_mixer_phase_table(plan.num_qubits(), beta, pop_table);
+      break;
+    }
+  for (const LayerPass& p : plan.passes()) {
+    if (p.strided)
+      run_strided_pass(k, p, amp, n_amps, pop_table, c, s, exec);
+    else
+      run_tile_pass(k, p, amp, n_amps, phase, gamma, pop_table, c, s, exec);
+  }
+}
+
+void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               double c, double s, Exec exec) {
+  if (!plan.active())
+    throw std::logic_error("pipeline::run_sweep: plan is not active: " +
+                           plan.fallback_reason());
+  if (n_amps != (1ull << plan.num_qubits()))
+    throw std::invalid_argument("pipeline::run_sweep: array size mismatch");
+  const Kernels& k = simd::detail::active_kernels();
+  const PhaseCtx no_phase;
+  for (const LayerPass& p : plan.passes()) {
+    if (p.strided)
+      run_strided_pass(k, p, amp, n_amps, nullptr, c, s, exec);
+    else
+      run_tile_pass(k, p, amp, n_amps, no_phase, 0.0, nullptr, c, s, exec);
+  }
+}
+
+}  // namespace qokit::pipeline

@@ -1,0 +1,49 @@
+// Executes a LayerPlan over a raw amplitude array.
+//
+// The executor is a second driver for the SIMD kernel families (a peer of
+// src/simd/dispatch.cpp): it walks the plan's passes and hands the active
+// family's block kernels cache-sized sub-ranges in tiled order instead of
+// the flat kSimdBlock order. Because the same family kernels perform the
+// same per-amplitude arithmetic in the same per-amplitude order — fusion
+// only reorders *which amplitudes are visited when*, and no pass carries a
+// cross-amplitude reduction — the result is bit-identical to the unfused
+// apply_phase + apply_mixer_x loop at every dispatch level, Exec policy,
+// and thread count (see DESIGN.md "The layer pipeline" for the alignment
+// argument that makes this exact, not approximate).
+#pragma once
+
+#include <cstdint>
+
+#include "pipeline/layer_plan.hpp"
+#include "statevector/state.hpp"
+
+namespace qokit::pipeline {
+
+/// How run_layer applies the diagonal phase e^{-i gamma C}. Exactly one
+/// source must be set: `costs` for the double-precision diagonal (sliced
+/// at the same offsets as the amplitudes), or `codes` + `table` for the
+/// uint16 codec (table = the per-gamma 65536-entry factor lookup).
+struct PhaseCtx {
+  const double* costs = nullptr;
+  const std::uint16_t* codes = nullptr;
+  const cdouble* table = nullptr;
+};
+
+/// Run one fused QAOA layer (phase by `gamma`, X mixer by `beta`) over
+/// `amp[0, n_amps)`. n_amps must equal 2^plan.num_qubits(); the plan must
+/// be active. `amp` may be a full state or one rank's slice (the
+/// distributed simulator passes its local slice with a plan built for the
+/// local qubit count). Deterministic for any Exec/thread count.
+void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               const PhaseCtx& phase, double gamma, double beta, Exec exec);
+
+/// Execute a butterfly-only plan (LayerPlan::build_rx_sweep) over
+/// `amp[0, n_amps)` with c = cos(beta), s = sin(beta). The distributed
+/// simulator runs its prebuilt sweep plan on the alltoall-reordered slice
+/// to mix the former-global qubits with the same tiling as the local
+/// ones. Plans with phase work belong to run_layer; sweep passes carry
+/// none by construction.
+void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               double c, double s, Exec exec);
+
+}  // namespace qokit::pipeline

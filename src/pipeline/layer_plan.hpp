@@ -1,0 +1,147 @@
+// Cache-blocked fused layer planning (the tiled multi-qubit pass pipeline).
+//
+// Algorithm 3 makes each QAOA layer one elementwise phase multiply plus one
+// X-mixer transform, but executed naively that is n + 1 full sweeps of the
+// 16·2^n-byte state per layer (one for the phase, one butterfly pass per
+// qubit), so at n >= 24 the layer loop is DRAM traffic, not FLOPs. Lin et
+// al. ("Towards Optimizations of Quantum Circuit Simulation for Solving
+// Max-Cut Problems with QAOA", 2023) identify the fix: fuse the diagonal
+// phase into the first butterfly sweep and group butterflies into
+// cache-resident tiles so one read/write of the state advances many qubits.
+//
+// A LayerPlan is the static schedule of that execution, built once per
+// simulator (and therefore once per session/batch — every schedule reuses
+// it) from the qubit count, mixer choice, and tiling options:
+//
+//  - One leading *tile pass*: contiguous 2^t-amplitude tiles; each tile is
+//    phase-multiplied and then swept by every butterfly with stride inside
+//    the tile (qubits [0, min(t, n))) while it sits in cache.
+//  - *Strided group passes* for the high qubits: g qubits [q0, q0 + g) are
+//    advanced together by gathering 2^g rows of one chunk column into
+//    cache and running all g butterflies on that working set.
+//
+// Full-array sweeps per layer drop from n + 1 to 1 + ceil((n - t)/g); the
+// per-amplitude arithmetic is untouched (fusion only reorders the memory
+// traversal), so the pipeline is bit-identical to the unfused loop — which
+// stays available as the correctness oracle via QOKIT_PIPELINE=off or
+// PipelineMode::Off (see layer_exec.hpp for the determinism argument).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fur/mixers.hpp"
+
+namespace qokit::pipeline {
+
+/// Whether a simulator builds an active plan. Auto defers to the
+/// QOKIT_PIPELINE environment variable ("off"/"0" disables); On ignores
+/// the environment; Off forces the unfused oracle path.
+enum class PipelineMode { Auto, On, Off };
+
+/// Tile of 2^16 amplitudes = 1 MiB of state: resident in any recent L2
+/// alongside the 512 KiB cost slice the fused phase multiply streams.
+inline constexpr int kDefaultTileLog2 = 16;
+/// High qubits advanced per strided pass. With the default chunk this
+/// bounds a pass working set to 2^6 rows x 16 KiB = 1 MiB.
+inline constexpr int kDefaultGroupQubits = 6;
+/// log2 of the contiguous chunk (in amplitudes) gathered per row of a
+/// strided pass: 2^10 amplitudes = 16 KiB, long enough for the streaming
+/// prefetchers, small enough that 2^g rows stay cache-resident.
+inline constexpr int kDefaultChunkLog2 = 10;
+
+/// Construction-time tiling knobs, carried by FurConfig / DistConfig and
+/// (mode only) by SimulatorSpec. The defaults are safe for any n; tests
+/// shrink them to exercise tile-boundary edge cases on small states.
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::Auto;
+  int tile_log2 = kDefaultTileLog2;
+  int group_qubits = kDefaultGroupQubits;
+  int chunk_log2 = kDefaultChunkLog2;
+
+  friend bool operator==(const PipelineOptions&, const PipelineOptions&) =
+      default;
+};
+
+/// True when QOKIT_PIPELINE is set to "off" or "0" (checked at plan-build
+/// time, i.e. simulator construction — not per layer).
+bool pipeline_disabled_by_env();
+
+/// Elementwise work attached to a pass (applied per cache-resident unit).
+enum class PassPhase {
+  None,
+  Diagonal,  ///< e^{-i gamma c_x} from the cost diagonal (double or u16)
+  Popcount,  ///< the fwht mixer's Hadamard-frame diagonal, by weight
+};
+
+/// Which butterfly the pass sweeps over its qubit range.
+enum class PassButterfly { Rx, Hadamard };
+
+/// One fused full-array sweep: an optional leading elementwise multiply,
+/// butterflies over qubits [q_begin, q_end) in ascending order, and an
+/// optional trailing elementwise multiply, all applied unit-by-unit.
+struct LayerPass {
+  bool strided = false;  ///< false: contiguous tiles; true: row groups
+  int q_begin = 0;       ///< first butterfly qubit
+  int q_end = 0;         ///< one past the last butterfly qubit
+  PassButterfly butterfly = PassButterfly::Rx;
+  PassPhase pre = PassPhase::None;   ///< before the unit's butterflies
+  PassPhase post = PassPhase::None;  ///< after the unit's butterflies
+  /// log2 of the unit width in amplitudes: the tile size for contiguous
+  /// passes, the per-row chunk length for strided ones (<= q_begin so a
+  /// chunk never crosses a row boundary).
+  int width_log2 = 0;
+};
+
+/// The fused execution schedule for one QAOA layer over a 2^n-amplitude
+/// array (the full state, or one rank's slice in the distributed
+/// simulator). Inactive plans carry a human-readable fallback reason and
+/// the caller runs the unfused loop instead.
+class LayerPlan {
+ public:
+  LayerPlan() = default;  ///< inactive; reason "no plan built"
+
+  /// Plan one layer for an n-qubit array under `mixer`/`backend`.
+  /// X-mixer layers (Fused and Fwht backends) plan fused passes; the xy
+  /// mixers are ordered two-qubit products and return an inactive plan
+  /// naming that reason. Options are clamped to valid ranges (tile and
+  /// chunk never below 4 amplitudes, chunk never above the pass's lowest
+  /// qubit) so any option combination yields a runnable plan.
+  static LayerPlan build(int num_qubits, MixerType mixer,
+                         MixerBackend backend, const PipelineOptions& opts);
+
+  /// Plan a butterfly-only RX sweep over qubits [q_begin, q_end) of an
+  /// n-qubit array: a contiguous tile pass while strides fit a tile
+  /// (only when q_begin == 0), then strided groups — the same clamp and
+  /// alignment rules as build(), kept in one place. The distributed
+  /// simulator builds this once for the post-alltoall global-qubit mix.
+  /// Always active (mode/mixer gating belongs to the caller's main plan).
+  static LayerPlan build_rx_sweep(int num_qubits, int q_begin, int q_end,
+                                  const PipelineOptions& opts);
+
+  bool active() const noexcept { return active_; }
+  /// Why the plan is inactive (empty when active) — the pinned diagnostic
+  /// for fallback paths.
+  const std::string& fallback_reason() const noexcept { return reason_; }
+
+  std::span<const LayerPass> passes() const noexcept { return passes_; }
+  int num_qubits() const noexcept { return n_; }
+  const PipelineOptions& options() const noexcept { return opts_; }
+
+  /// Full-array sweeps one layer performs — the pipeline's figure of
+  /// merit. The unfused loop costs n + 1 (n + 2 counting the cost read;
+  /// 2n + 2 for the fwht backend); a plan targets 1 + ceil((n - t)/g).
+  int full_sweeps() const noexcept {
+    return static_cast<int>(passes_.size());
+  }
+
+ private:
+  bool active_ = false;
+  int n_ = 0;
+  PipelineOptions opts_;
+  std::string reason_ = "no plan built";
+  std::vector<LayerPass> passes_;
+};
+
+}  // namespace qokit::pipeline

@@ -19,6 +19,13 @@
 // state.cpp) keep their public signatures, so the dist:K rank-local slices
 // and the batch engine's scratch states inherit the vectorization with zero
 // API change.
+//
+// Two drivers decompose work over these families: the flat kSimdBlock
+// blocking below, and the cache-blocked layer pipeline
+// (src/pipeline/layer_exec.cpp), which issues tile-/chunk-sized sub-ranges
+// in fused traversal order. Both produce bit-identical results because the
+// family kernels are position-independent per amplitude given the aligned
+// sub-ranges each driver guarantees.
 #pragma once
 
 #include <cstdint>
@@ -83,6 +90,11 @@ struct Kernels {
                       const cdouble* table, std::uint64_t count);
   void (*phase_popcount)(cdouble* amp, std::uint64_t index_base,
                          std::uint64_t count, const cdouble* table);
+  /// Fused diagonal phase + qubit-0 RX over `count` (even) amplitudes —
+  /// the per-amplitude operations of phase followed by rx_pairs(qubit=0),
+  /// bit for bit, in one pass over the range.
+  void (*phase_rx)(cdouble* amp, const double* costs, std::uint64_t count,
+                   double gamma, double c, double s);
   void (*rx_pairs)(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
                    double c, double s);
   void (*hadamard_pairs)(cdouble* x, int qubit, std::uint64_t kb,

@@ -149,6 +149,63 @@ void phase_avx2(cdouble* amp, const double* costs, std::uint64_t count,
   phase_scalar_tail(amp + i, costs + i, count - i, gamma);
 }
 
+void phase_rx_avx2(cdouble* amp, const double* costs, std::uint64_t count,
+                   double gamma, double c, double s) {
+  // Fused phase + qubit-0 RX. The phase half is phase_avx2's body
+  // verbatim (including the huge-angle scalar fallback, taken for the
+  // same absolute groups of 4 since both drivers issue 4-aligned ranges);
+  // the butterfly half is rx_pairs_avx2's qubit-0 update applied to the
+  // phased registers — identical values whether kept in register or
+  // stored and reloaded, so the pair of unfused kernels is reproduced bit
+  // for bit with one memory round trip instead of two.
+  double* d = reinterpret_cast<double*>(amp);
+  const __m256d vng = _mm256_set1_pd(-gamma);
+  const __m256d vhuge = _mm256_set1_pd(kHugeAngle);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m256d nodd = neg_odd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256d p01, p23;
+    const __m256d ang = _mm256_mul_pd(vng, _mm256_loadu_pd(costs + i));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(_mm256_and_pd(ang, abs_mask), vhuge,
+                                         _CMP_GT_OQ))) {
+      phase_scalar_tail(amp + i, costs + i, 4, gamma);
+      p01 = _mm256_loadu_pd(d + 2 * i);
+      p23 = _mm256_loadu_pd(d + 2 * i + 4);
+    } else {
+      __m256d vsin, vcos;
+      sincos4(ang, &vsin, &vcos);
+      const __m256d f01_re = _mm256_permute4x64_pd(vcos, 0x50);
+      const __m256d f01_im = _mm256_permute4x64_pd(vsin, 0x50);
+      const __m256d f23_re = _mm256_permute4x64_pd(vcos, 0xFA);
+      const __m256d f23_im = _mm256_permute4x64_pd(vsin, 0xFA);
+      p01 = cmul_bcast(_mm256_loadu_pd(d + 2 * i), f01_re, f01_im);
+      p23 = cmul_bcast(_mm256_loadu_pd(d + 2 * i + 4), f23_re, f23_im);
+    }
+    const __m256d m01 =
+        _mm256_xor_pd(_mm256_permute4x64_pd(p01, 0x1B), nodd);
+    _mm256_storeu_pd(d + 2 * i,
+                     _mm256_fmadd_pd(vc, p01, _mm256_mul_pd(vs, m01)));
+    const __m256d m23 =
+        _mm256_xor_pd(_mm256_permute4x64_pd(p23, 0x1B), nodd);
+    _mm256_storeu_pd(d + 2 * i + 4,
+                     _mm256_fmadd_pd(vc, p23, _mm256_mul_pd(vs, m23)));
+  }
+  if (i < count) {
+    // count % 4 == 2: one pair left. Scalar-family phase (the unfused
+    // kernel's own tail policy), then the in-register qubit-0 butterfly
+    // rx_pairs_avx2 applies to every pair.
+    phase_scalar_tail(amp + i, costs + i, count - i, gamma);
+    const __m256d a = _mm256_loadu_pd(d + 2 * i);
+    const __m256d m = _mm256_xor_pd(_mm256_permute4x64_pd(a, 0x1B), nodd);
+    _mm256_storeu_pd(d + 2 * i,
+                     _mm256_fmadd_pd(vc, a, _mm256_mul_pd(vs, m)));
+  }
+}
+
 inline __m256d load_factor_pair(const cdouble* f0, const cdouble* f1) {
   return _mm256_set_m128d(
       _mm_loadu_pd(reinterpret_cast<const double*>(f1)),
@@ -354,10 +411,16 @@ double overlap_avx2(const cdouble* amp, const double* costs, double threshold,
 namespace detail {
 
 const Kernels avx2_kernels = {
-    phase_avx2,          phase_table_avx2, phase_popcount_avx2,
-    rx_pairs_avx2,       hadamard_pairs_avx2,
-    expectation_avx2,    expectation_u16_avx2,
-    norm_squared_avx2,   overlap_avx2,
+    .phase = phase_avx2,
+    .phase_table = phase_table_avx2,
+    .phase_popcount = phase_popcount_avx2,
+    .phase_rx = phase_rx_avx2,
+    .rx_pairs = rx_pairs_avx2,
+    .hadamard_pairs = hadamard_pairs_avx2,
+    .expectation = expectation_avx2,
+    .expectation_u16 = expectation_u16_avx2,
+    .norm_squared = norm_squared_avx2,
+    .overlap = overlap_avx2,
 };
 
 }  // namespace detail

@@ -32,6 +32,27 @@ void phase_popcount_scalar(cdouble* amp, std::uint64_t index_base,
     amp[i] *= table[popcount(index_base + i)];
 }
 
+void phase_rx_scalar(cdouble* amp, const double* costs, std::uint64_t count,
+                     double gamma, double c, double s) {
+  // Per adjacent pair: the exact statements of phase_scalar on both
+  // amplitudes, then the exact qubit-0 update of rx_pairs_scalar — same
+  // per-op rounding (this TU has no FMA contraction to drift), one pass.
+  double* d = reinterpret_cast<double*>(amp);
+  for (std::uint64_t k = 0; 2 * k < count; ++k) {
+    for (std::uint64_t i = 2 * k; i < 2 * k + 2; ++i) {
+      const double ang = -gamma * costs[i];
+      amp[i] *= cdouble(std::cos(ang), std::sin(ang));
+    }
+    const std::uint64_t i0 = 4 * k;
+    const double x0re = d[i0], x0im = d[i0 + 1];
+    const double x1re = d[i0 + 2], x1im = d[i0 + 3];
+    d[i0] = c * x0re + s * x1im;
+    d[i0 + 1] = c * x0im - s * x1re;
+    d[i0 + 2] = c * x1re + s * x0im;
+    d[i0 + 3] = c * x1im - s * x0re;
+  }
+}
+
 void rx_pairs_scalar(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
                      double c, double s) {
   // e^{-i beta X}: y0 = c x0 - i s x1, y1 = -i s x0 + c x1. In real
@@ -100,10 +121,16 @@ double overlap_scalar(const cdouble* amp, const double* costs,
 namespace detail {
 
 const Kernels scalar_kernels = {
-    phase_scalar,          phase_table_scalar, phase_popcount_scalar,
-    rx_pairs_scalar,       hadamard_pairs_scalar,
-    expectation_scalar,    expectation_u16_scalar,
-    norm_squared_scalar,   overlap_scalar,
+    .phase = phase_scalar,
+    .phase_table = phase_table_scalar,
+    .phase_popcount = phase_popcount_scalar,
+    .phase_rx = phase_rx_scalar,
+    .rx_pairs = rx_pairs_scalar,
+    .hadamard_pairs = hadamard_pairs_scalar,
+    .expectation = expectation_scalar,
+    .expectation_u16 = expectation_u16_scalar,
+    .norm_squared = norm_squared_scalar,
+    .overlap = overlap_scalar,
 };
 
 }  // namespace detail

@@ -45,8 +45,11 @@ class StateVector {
   cdouble& operator[](std::uint64_t i) noexcept { return amp_[i]; }
   const cdouble& operator[](std::uint64_t i) const noexcept { return amp_[i]; }
 
-  /// Squared 2-norm sum |a_x|^2 (1 for a valid quantum state).
-  double norm_squared(Exec exec = Exec::Serial) const;
+  /// Squared 2-norm sum |a_x|^2 (1 for a valid quantum state). Defaults
+  /// Parallel like every other Exec-taking entry point (the simd layer
+  /// guarantees the result is bit-identical either way); pinned by
+  /// test_statevector's ExecDefaultsAreUniform.
+  double norm_squared(Exec exec = Exec::Parallel) const;
 
   /// Scale so that norm_squared() == 1. Throws on the zero vector.
   void normalize();

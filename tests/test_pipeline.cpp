@@ -1,0 +1,343 @@
+// The cache-blocked fused layer pipeline (src/pipeline/) must be
+// *bit-identical* -- not merely close -- to the unfused per-qubit layer
+// loop it replaces, across every backend (serial / threaded / u16 / fwht /
+// dist:2 / dist:4:pairwise), both Exec policies, and both SIMD kernel
+// families; fusion reorders the memory traversal, never the per-amplitude
+// arithmetic. Also pins the plan's pass-count math, the tile-boundary edge
+// cases (n < t, n == t, odd high-qubit remainders), and the unfused
+// fallback (with diagnostic) for the xy mixers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/qokit.hpp"
+#include "common/cpu_features.hpp"
+#include "pipeline/layer_exec.hpp"
+
+namespace qokit {
+namespace {
+
+/// Restore the detected dispatch level when a test that forces levels
+/// exits (same guard idiom as test_simd_kernels.cpp).
+struct SimdLevelGuard {
+  SimdLevel entry = active_simd_level();
+  ~SimdLevelGuard() { force_simd_level(entry); }
+};
+
+/// Deterministic random problem per seed, cycling families (the
+/// cross-validation idiom).
+TermList random_problem(std::uint64_t seed, int* n_out) {
+  Rng rng(seed * 7919);
+  const int n = 8 + static_cast<int>(rng.uniform_int(4));  // 8..11
+  *n_out = n;
+  switch (seed % 3) {
+    case 0:
+      return maxcut_terms(Graph::random_regular(n - (n % 2), 3, seed));
+    case 1:
+      return labs_terms(n);
+    default:
+      return sk_terms(n, seed);
+  }
+}
+
+/// A fixed 3-layer schedule exercising positive/negative angles.
+QaoaParams test_schedule() {
+  QaoaParams s;
+  s.gammas = {0.31, -0.47, 0.83};
+  s.betas = {0.78, 0.15, -0.52};
+  return s;
+}
+
+/// Fused (spec as given) vs unfused (same spec, pipeline=off) evolution,
+/// expectation, and overlap must agree bitwise.
+void expect_fused_matches_oracle(const TermList& terms,
+                                 const std::string& name) {
+  const SimulatorSpec spec = SimulatorSpec::parse(name);
+  SimulatorSpec oracle_spec = spec;
+  oracle_spec.pipeline = pipeline::PipelineMode::Off;
+  const auto fused = make_simulator(terms, spec);
+  const auto oracle = make_simulator(terms, oracle_spec);
+  const QaoaParams sched = test_schedule();
+  const StateVector a = fused->simulate_qaoa(sched.gammas, sched.betas);
+  const StateVector b = oracle->simulate_qaoa(sched.gammas, sched.betas);
+  EXPECT_EQ(a.max_abs_diff(b), 0.0) << name;
+  EXPECT_EQ(fused->get_expectation(a), oracle->get_expectation(b)) << name;
+  EXPECT_EQ(fused->get_overlap(a), oracle->get_overlap(b)) << name;
+}
+
+class PipelineCrossValidationTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineCrossValidationTest, FusedEqualsUnfusedOnEveryBackend) {
+  const std::uint64_t seed = GetParam();
+  int n = 0;
+  const TermList terms = random_problem(seed, &n);
+  SimdLevelGuard guard;
+  for (const SimdLevel level : {SimdLevel::Scalar, detect_simd_level()}) {
+    force_simd_level(level);
+    for (const char* name :
+         {"serial", "threaded", "auto:exec=serial", "u16", "fwht",
+          "fwht:exec=serial", "u16:exec=serial", "dist:2",
+          "dist:4:pairwise"})
+      expect_fused_matches_oracle(terms, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineCrossValidationTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------------------------ edge cases
+
+/// Build fused/unfused FurQaoaSimulator pairs with custom tiling and
+/// assert bitwise identity of the evolved state.
+void expect_tiling_identical(int n, int tile_log2, int group_qubits,
+                             int chunk_log2, bool use_u16,
+                             MixerBackend backend, Exec exec) {
+  const TermList terms = sk_terms(n, 11);
+  FurConfig fused;
+  fused.exec = exec;
+  fused.use_u16 = use_u16;
+  fused.backend = backend;
+  fused.pipeline = {.mode = pipeline::PipelineMode::On,
+                    .tile_log2 = tile_log2,
+                    .group_qubits = group_qubits,
+                    .chunk_log2 = chunk_log2};
+  FurConfig oracle = fused;
+  oracle.pipeline.mode = pipeline::PipelineMode::Off;
+  const FurQaoaSimulator a(terms, fused);
+  const FurQaoaSimulator b(terms, oracle);
+  ASSERT_TRUE(a.layer_plan().active());
+  ASSERT_FALSE(b.layer_plan().active());
+  const QaoaParams sched = test_schedule();
+  EXPECT_EQ(a.simulate_qaoa(sched.gammas, sched.betas)
+                .max_abs_diff(b.simulate_qaoa(sched.gammas, sched.betas)),
+            0.0)
+      << "n=" << n << " t=" << tile_log2 << " g=" << group_qubits
+      << " c=" << chunk_log2 << " u16=" << use_u16
+      << " fwht=" << (backend == MixerBackend::Fwht);
+}
+
+TEST(PipelineTiling, TileBoundaryEdgeCases) {
+  SimdLevelGuard guard;
+  for (const SimdLevel level : {SimdLevel::Scalar, detect_simd_level()}) {
+    force_simd_level(level);
+    for (const Exec exec : {Exec::Serial, Exec::Parallel}) {
+      expect_tiling_identical(3, 4, 2, 2, false, MixerBackend::Fused,
+                              exec);  // n < t: single tile
+      expect_tiling_identical(4, 4, 2, 2, false, MixerBackend::Fused,
+                              exec);  // n == t
+      expect_tiling_identical(9, 4, 2, 2, false, MixerBackend::Fused,
+                              exec);  // odd remainder: groups {2,2,1}
+      expect_tiling_identical(9, 4, 3, 2, false, MixerBackend::Fused,
+                              exec);  // remainder group of 2
+      expect_tiling_identical(2, 4, 2, 2, false, MixerBackend::Fused,
+                              exec);  // smaller than any tile
+      expect_tiling_identical(9, 4, 2, 2, true, MixerBackend::Fused,
+                              exec);  // u16 table phase, tiled
+      expect_tiling_identical(9, 4, 2, 2, false, MixerBackend::Fwht,
+                              exec);  // two-transform route, tiled
+      expect_tiling_identical(10, 5, 2, 4, true, MixerBackend::Fwht,
+                              exec);  // chunk == row stride
+    }
+  }
+}
+
+TEST(PipelineTiling, OutOfRangeOptionsAreClampedToARunnablePlan) {
+  // Degenerate knobs must not break identity (clamps: tile >= 2^2,
+  // chunk in [2^2, 2^q_begin], group >= 1).
+  expect_tiling_identical(8, 0, 0, 0, false, MixerBackend::Fused,
+                          Exec::Serial);
+  expect_tiling_identical(8, 30, 64, 25, false, MixerBackend::Fused,
+                          Exec::Serial);
+}
+
+// ---------------------------------------------------------- plan shapes
+
+TEST(LayerPlan, PassCountMathMatchesTheTilingFormula) {
+  // mode = On so the math holds even under a QOKIT_PIPELINE=off run (the
+  // CI oracle leg); t = 16, g = 6 defaults otherwise.
+  pipeline::PipelineOptions opts;
+  opts.mode = pipeline::PipelineMode::On;
+  for (const int n : {16, 20, 22, 24, 30}) {
+    const auto plan = pipeline::LayerPlan::build(
+        n, MixerType::X, MixerBackend::Fused, opts);
+    ASSERT_TRUE(plan.active());
+    const int t = opts.tile_log2;
+    const int g = opts.group_qubits;
+    const int expected =
+        1 + (n > t ? (n - t + g - 1) / g : 0);  // 1 + ceil((n - t)/g)
+    EXPECT_EQ(plan.full_sweeps(), expected) << "n=" << n;
+    // The acceptance bound: no worse than ceil(n/t) + 1 full sweeps at
+    // the benchmarked sizes (the unfused loop costs n + 1).
+    if (n <= 24) {
+      EXPECT_LE(plan.full_sweeps(), (n + t - 1) / t + 1) << "n=" << n;
+    }
+    EXPECT_LT(plan.full_sweeps(), n + 1) << "n=" << n;
+  }
+  // The fwht route plans two transforms: exactly twice the sweeps.
+  const auto fwht_plan = pipeline::LayerPlan::build(
+      24, MixerType::X, MixerBackend::Fwht, opts);
+  const auto fused_plan = pipeline::LayerPlan::build(
+      24, MixerType::X, MixerBackend::Fused, opts);
+  EXPECT_EQ(fwht_plan.full_sweeps(), 2 * fused_plan.full_sweeps());
+}
+
+TEST(LayerPlan, FirstPassFusesThePhaseIntoTheMixerSweep) {
+  const auto plan = pipeline::LayerPlan::build(
+      24, MixerType::X, MixerBackend::Fused,
+      {.mode = pipeline::PipelineMode::On});
+  ASSERT_TRUE(plan.active());
+  ASSERT_FALSE(plan.passes().empty());
+  const pipeline::LayerPass& first = plan.passes().front();
+  EXPECT_FALSE(first.strided);
+  EXPECT_EQ(first.pre, pipeline::PassPhase::Diagonal);
+  EXPECT_EQ(first.q_begin, 0);
+  // No other pass re-applies the diagonal phase.
+  for (std::size_t i = 1; i < plan.passes().size(); ++i)
+    EXPECT_NE(plan.passes()[i].pre, pipeline::PassPhase::Diagonal) << i;
+}
+
+// ------------------------------------------------- fallbacks/diagnostics
+
+TEST(PipelineFallback, XyMixersFallBackWithAPinnedDiagnostic) {
+  const PortfolioInstance inst = random_portfolio(7, 3, 0.5, 11);
+  const auto sim = choose_simulator_xyring(portfolio_terms(inst), "auto",
+                                           inst.budget);
+  const auto* fur = dynamic_cast<const FurQaoaSimulator*>(sim.get());
+  ASSERT_NE(fur, nullptr);
+  EXPECT_FALSE(fur->layer_plan().active());
+  EXPECT_NE(fur->layer_plan().fallback_reason().find("xyring"),
+            std::string::npos)
+      << fur->layer_plan().fallback_reason();
+  // Direct plan builds name each xy mixer.
+  const auto ring = pipeline::LayerPlan::build(
+      8, MixerType::XYRing, MixerBackend::Fused, {});
+  EXPECT_NE(ring.fallback_reason().find("xyring"), std::string::npos);
+  const auto complete = pipeline::LayerPlan::build(
+      8, MixerType::XYComplete, MixerBackend::Fused, {});
+  EXPECT_NE(complete.fallback_reason().find("xycomplete"),
+            std::string::npos);
+}
+
+TEST(PipelineFallback, SpecAndEnvironmentDisableThePlan) {
+  const TermList terms = labs_terms(8);
+  {
+    const FurQaoaSimulator sim(
+        terms, FurConfig{.pipeline = {.mode = pipeline::PipelineMode::Off}});
+    EXPECT_FALSE(sim.layer_plan().active());
+    EXPECT_NE(sim.layer_plan().fallback_reason().find("pipeline=off"),
+              std::string::npos);
+  }
+  const char* prior = std::getenv("QOKIT_PIPELINE");
+  const std::string saved = prior ? prior : "";
+  ASSERT_EQ(setenv("QOKIT_PIPELINE", "off", 1), 0);
+  EXPECT_TRUE(pipeline::pipeline_disabled_by_env());
+  {
+    // Auto follows the environment; On overrides it.
+    const FurQaoaSimulator auto_sim(terms, FurConfig{});
+    EXPECT_FALSE(auto_sim.layer_plan().active());
+    EXPECT_NE(auto_sim.layer_plan().fallback_reason().find("QOKIT_PIPELINE"),
+              std::string::npos);
+    const FurQaoaSimulator on_sim(
+        terms, FurConfig{.pipeline = {.mode = pipeline::PipelineMode::On}});
+    EXPECT_TRUE(on_sim.layer_plan().active());
+  }
+  if (prior)
+    ASSERT_EQ(setenv("QOKIT_PIPELINE", saved.c_str(), 1), 0);
+  else
+    ASSERT_EQ(unsetenv("QOKIT_PIPELINE"), 0);
+}
+
+TEST(PipelineFallback, RunLayerRejectsMisuse) {
+  StateVector sv = StateVector::plus_state(4);
+  const pipeline::LayerPlan inactive;
+  pipeline::PhaseCtx ctx;
+  EXPECT_THROW(pipeline::run_layer(inactive, sv.data(), sv.size(), ctx, 0.1,
+                                   0.2, Exec::Serial),
+               std::logic_error);
+  const auto plan = pipeline::LayerPlan::build(
+      4, MixerType::X, MixerBackend::Fused,
+      {.mode = pipeline::PipelineMode::On});
+  ASSERT_TRUE(plan.active());
+  // No phase source.
+  EXPECT_THROW(pipeline::run_layer(plan, sv.data(), sv.size(), ctx, 0.1,
+                                   0.2, Exec::Serial),
+               std::invalid_argument);
+  // Array/plan size mismatch.
+  const CostDiagonal diag = CostDiagonal::precompute(labs_terms(4));
+  ctx.costs = diag.data();
+  EXPECT_THROW(pipeline::run_layer(plan, sv.data(), sv.size() / 2, ctx, 0.1,
+                                   0.2, Exec::Serial),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- spec/session plumbing
+
+TEST(PipelineSpec, GrammarRoundTripsAndRejectsBadValues) {
+  EXPECT_EQ(SimulatorSpec::parse("auto:pipeline=off").pipeline,
+            pipeline::PipelineMode::Off);
+  EXPECT_EQ(SimulatorSpec::parse("auto:pipeline=on").pipeline,
+            pipeline::PipelineMode::On);
+  EXPECT_EQ(SimulatorSpec::parse("auto").pipeline,
+            pipeline::PipelineMode::Auto);
+  SimulatorSpec spec;
+  spec.pipeline = pipeline::PipelineMode::Off;
+  EXPECT_EQ(spec.to_string(), "auto:pipeline=off");
+  EXPECT_EQ(SimulatorSpec::parse(spec.to_string()), spec);
+  EXPECT_THROW(SimulatorSpec::parse("auto:pipeline=fast"),
+               std::invalid_argument);
+}
+
+TEST(PipelineSession, SessionsReuseOnePlanAndReportLayerTimings) {
+  const Graph g = Graph::random_regular(8, 3, 5);
+  SimulatorSpec spec;
+  spec.pipeline = pipeline::PipelineMode::On;
+  const api::ProblemSession session = api::ProblemSession::maxcut(g, spec);
+  const auto* fur =
+      dynamic_cast<const FurQaoaSimulator*>(&session.simulator());
+  ASSERT_NE(fur, nullptr);
+  EXPECT_TRUE(fur->layer_plan().active());
+  api::EvalRequest request;
+  request.timings = true;
+  const QaoaParams sched = test_schedule();
+  const api::EvalResult timed = session.evaluate(sched, request);
+  ASSERT_TRUE(timed.timings.has_value());
+  ASSERT_EQ(timed.timings->layer_ns.size(), sched.gammas.size());
+  std::uint64_t total = 0;
+  for (const std::uint64_t ns : timed.timings->layer_ns) total += ns;
+  EXPECT_LE(total, timed.timings->simulate_ns);
+  // The layer-by-layer timed evolution is bit-identical to the untimed
+  // single-call one.
+  const api::EvalResult untimed = session.evaluate(sched);
+  EXPECT_EQ(timed.expectation, untimed.expectation);
+  // The timed path must reject mismatched schedules exactly like the
+  // untimed one (regression: it once sliced per layer without checking).
+  QaoaParams ragged;
+  ragged.gammas = {0.1, 0.2};
+  ragged.betas = {0.3};
+  EXPECT_THROW(session.evaluate(ragged, request), std::invalid_argument);
+  EXPECT_THROW(session.evaluate(ragged), std::invalid_argument);
+}
+
+TEST(PipelineDist, DistPlansTheLocalSliceAndMatchesOracleAtTheBoundary) {
+  // n == 2 log2 K: after the alltoall the swapped-in globals start at
+  // local qubit 0, exercising run_rx_sweep's tile branch.
+  const TermList terms = sk_terms(4, 3);
+  const DistributedFurSimulator fused(
+      terms, DistConfig{.ranks = 4,
+                        .pipeline = {.mode = pipeline::PipelineMode::On}});
+  EXPECT_TRUE(fused.layer_plan().active());
+  EXPECT_EQ(fused.layer_plan().num_qubits(), 2);  // local qubits
+  const DistributedFurSimulator oracle(
+      terms, DistConfig{.ranks = 4,
+                        .pipeline = {.mode = pipeline::PipelineMode::Off}});
+  const QaoaParams sched = test_schedule();
+  EXPECT_EQ(
+      fused.simulate_qaoa(sched.gammas, sched.betas)
+          .max_abs_diff(oracle.simulate_qaoa(sched.gammas, sched.betas)),
+      0.0);
+}
+
+}  // namespace
+}  // namespace qokit

@@ -48,19 +48,24 @@ TEST(SimulatorSpec, RoundTripsOverTheFullGrid) {
             for (const int weight : {-1, 3})
               for (const SimdChoice simd :
                    {SimdChoice::Auto, SimdChoice::Scalar})
-                for (const std::uint64_t seed : {1ull, 42ull}) {
-                  SimulatorSpec spec;
-                  spec.backend = backend;
-                  spec.mixer = mixer;
-                  spec.exec = exec;
-                  spec.ranks = ranks;
-                  spec.alltoall = strategy;
-                  spec.initial_weight = weight;
-                  spec.simd = simd;
-                  spec.sample_seed = seed;
-                  const std::string name = spec.to_string();
-                  EXPECT_EQ(SimulatorSpec::parse(name), spec) << name;
-                }
+                for (const pipeline::PipelineMode pipe :
+                     {pipeline::PipelineMode::Auto,
+                      pipeline::PipelineMode::On,
+                      pipeline::PipelineMode::Off})
+                  for (const std::uint64_t seed : {1ull, 42ull}) {
+                    SimulatorSpec spec;
+                    spec.backend = backend;
+                    spec.mixer = mixer;
+                    spec.exec = exec;
+                    spec.ranks = ranks;
+                    spec.alltoall = strategy;
+                    spec.initial_weight = weight;
+                    spec.simd = simd;
+                    spec.pipeline = pipe;
+                    spec.sample_seed = seed;
+                    const std::string name = spec.to_string();
+                    EXPECT_EQ(SimulatorSpec::parse(name), spec) << name;
+                  }
 }
 
 TEST(SimulatorSpec, ParsesLegacyAndExtendedSpellings) {

@@ -118,6 +118,29 @@ TEST(StateVector, ParallelNormMatchesSerial) {
               1e-12);
 }
 
+TEST(StateVector, ExecDefaultsAreUniform) {
+  // norm_squared and probabilities_in_place both default to
+  // Exec::Parallel, like every other Exec-taking entry point (historical
+  // inconsistency: norm_squared once defaulted Serial). The simd layer
+  // guarantees Serial == Parallel bitwise, so the default is observable
+  // only through this pin: calling with no argument must equal both
+  // explicit policies bit for bit.
+  StateVector sv = StateVector::plus_state(14);
+  sv[999] = cdouble(0.6, -0.8);
+  const double d = sv.norm_squared();
+  EXPECT_EQ(d, sv.norm_squared(Exec::Parallel));
+  EXPECT_EQ(d, sv.norm_squared(Exec::Serial));
+
+  StateVector by_default = sv;
+  StateVector serial = sv;
+  StateVector parallel = sv;
+  by_default.probabilities_in_place();
+  serial.probabilities_in_place(Exec::Serial);
+  parallel.probabilities_in_place(Exec::Parallel);
+  EXPECT_EQ(by_default.max_abs_diff(serial), 0.0);
+  EXPECT_EQ(by_default.max_abs_diff(parallel), 0.0);
+}
+
 TEST(StateVector, RejectsNegativeQubitCount) {
   EXPECT_THROW(StateVector(-1), std::invalid_argument);
 }
