@@ -20,10 +20,12 @@
 // >= 1.5x over the naive loop for 64 schedules at n = 16 on a CI-class
 // (multi-core) machine; single-core machines still see the per_query gap.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "api/qokit.hpp"
+#include "bench_report.hpp"
 
 namespace {
 
@@ -110,12 +112,15 @@ int main() {
     std::perror("BENCH_batch.json");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  // This bench has no reduced problem size; CI tags its runs via the same
+  // env the smoke-capable benches use so the JSONs stay comparable.
+  bench::write_context(out,
+                       std::getenv("QOKIT_BENCH_SMOKE") != nullptr);
   std::fprintf(out,
-               "{\n"
                "  \"n\": %d,\n"
                "  \"p\": %d,\n"
                "  \"batch_size\": %d,\n"
-               "  \"threads\": %d,\n"
                "  \"mode\": \"%s\",\n"
                "  \"results_bit_identical\": %s,\n"
                "  \"per_query_schedules_per_s\": %.2f,\n"
@@ -124,7 +129,7 @@ int main() {
                "  \"speedup_vs_per_query\": %.3f,\n"
                "  \"speedup_vs_loop\": %.3f\n"
                "}\n",
-               kNumQubits, kDepth, kBatchSize, max_threads(),
+               kNumQubits, kDepth, kBatchSize,
                mode == BatchParallelism::Outer ? "outer" : "inner",
                agree ? "true" : "false", per_query_tput, loop_tput,
                batched_tput, batched_tput / per_query_tput,

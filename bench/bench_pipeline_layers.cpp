@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "common/cpu_features.hpp"
@@ -130,15 +131,12 @@ int main(int argc, char** argv) {
     std::perror("BENCH_pipeline.json");
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::write_context(out, smoke);
   std::fprintf(out,
-               "{\n"
-               "  \"level\": \"%s\",\n"
-               "  \"threads\": %d,\n"
                "  \"layers\": %d,\n"
-               "  \"smoke\": %s,\n"
                "  \"results\": [\n",
-               simd_level_name(active_simd_level()), max_threads(), layers,
-               smoke ? "true" : "false");
+               layers);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     std::fprintf(out,

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "common/cpu_features.hpp"
@@ -135,14 +136,9 @@ int main(int argc, char** argv) {
     std::perror("BENCH_simd.json");
     return 1;
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"level\": \"%s\",\n"
-               "  \"threads\": %d,\n"
-               "  \"smoke\": %s,\n"
-               "  \"results\": [\n",
-               simd_level_name(native), max_threads(),
-               smoke ? "true" : "false");
+  std::fprintf(out, "{\n");
+  bench::write_context(out, smoke);
+  std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
     std::fprintf(out,

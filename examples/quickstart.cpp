@@ -45,5 +45,11 @@ int main() {
   std::printf("second call simulate %.3f ms (identical result: %s)\n",
               again.timings->simulate_ns / 1e6,
               *again.expectation == *r.expectation ? "yes" : "no");
+
+  // With QOKIT_OBS=1 in the environment (or an obs=on spec), write the
+  // metrics snapshot (JSON + Prometheus exposition) and the
+  // chrome://tracing trace next to the binary. A no-op when off.
+  if (obs::dump())
+    std::printf("observability exports written (qokit_obs_*.json/.prom)\n");
   return 0;
 }

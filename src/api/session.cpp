@@ -30,6 +30,10 @@ std::unique_ptr<QaoaFastSimulatorBase> build_timed(
   if (spec.simd != SimdChoice::Auto)
     force_simd_level(spec.simd == SimdChoice::Scalar ? SimdLevel::Scalar
                                                      : SimdLevel::Avx2);
+  // Like simd=, the obs token is process-global and sticky: on turns
+  // instrumentation on for everyone; the default never turns it off (the
+  // environment's choice survives a plain-spec session).
+  if (spec.obs) obs::set_enabled(true);
   const steady::time_point start = steady::now();
   std::unique_ptr<QaoaFastSimulatorBase> sim = make_simulator(terms, spec);
   *precompute_ns = elapsed_ns(start);
@@ -88,6 +92,17 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
                                     const EvalRequest& request) const {
   if (request.shots < 0)
     throw std::invalid_argument("EvalRequest: shots must be >= 0");
+  static const obs::Counter evaluates =
+      obs::counter("qokit_evaluates_total");
+  static const obs::Histogram layer_hist =
+      obs::histogram("qokit_layer_ns");
+  static const obs::Histogram reduce_hist =
+      obs::histogram("qokit_reduce_ns");
+  evaluates.add();
+  obs::Span span("evaluate");
+  span.attr("n", num_qubits());
+  span.attr("p", static_cast<std::int64_t>(schedule.gammas.size()));
+  span.attr("backend", qokit::to_string(spec_.backend).data());
   EvalResult out;
   const steady::time_point t0 = steady::now();
   // Refill the reused scratch slot from the cached initial state (a
@@ -110,10 +125,13 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
     const std::span<const double> betas(schedule.betas);
     layer_ns.reserve(gammas.size());
     for (std::size_t l = 0; l < gammas.size(); ++l) {
+      obs::Span lspan("layer");
+      lspan.attr("layer", static_cast<std::int64_t>(l));
       const steady::time_point tl = steady::now();
       scratch_ = sim_->simulate_qaoa_from(
           std::move(scratch_), gammas.subspan(l, 1), betas.subspan(l, 1));
       layer_ns.push_back(elapsed_ns(tl));
+      layer_hist.record(layer_ns.back());
     }
   } else {
     scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), schedule.gammas,
@@ -121,24 +139,30 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
   }
   const std::uint64_t simulate_ns = elapsed_ns(t0);
   const steady::time_point t1 = steady::now();
-  if (request.expectation) out.expectation = sim_->get_expectation(scratch_);
-  if (request.overlap)
-    out.overlap = sim_->get_overlap(scratch_, request.overlap_weight);
-  if (request.shots > 0)
-    out.samples = StateSampler(scratch_).sample(request.shots,
-                                                spec_.sample_seed);
+  {
+    obs::Span rspan("reduce");
+    if (request.expectation)
+      out.expectation = sim_->get_expectation(scratch_);
+    if (request.overlap)
+      out.overlap = sim_->get_overlap(scratch_, request.overlap_weight);
+    if (request.shots > 0)
+      out.samples = StateSampler(scratch_).sample(request.shots,
+                                                  spec_.sample_seed);
+  }
+  const std::uint64_t reduce_ns = elapsed_ns(t1);
+  reduce_hist.record(reduce_ns);
   if (request.timings)
-    out.timings = Timings{precompute_ns_, simulate_ns, elapsed_ns(t1),
+    out.timings = Timings{precompute_ns_, simulate_ns, reduce_ns,
                           std::move(layer_ns)};
   return out;
 }
 
 std::vector<EvalResult> ProblemSession::evaluate_batch(
     std::span<const QaoaParams> schedules, const EvalRequest& request) const {
+  BatchOptions opts = batch_options_for(request, spec_.sample_seed);
+  opts.record_timings = request.timings;
   const steady::time_point t0 = steady::now();
-  evaluator_.evaluate_into(schedules,
-                           batch_options_for(request, spec_.sample_seed),
-                           batch_scratch_);
+  evaluator_.evaluate_into(schedules, opts, batch_scratch_);
   const std::uint64_t batch_ns = elapsed_ns(t0);
   std::vector<EvalResult> out(schedules.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -147,8 +171,17 @@ std::vector<EvalResult> ProblemSession::evaluate_batch(
     if (request.overlap) out[i].overlap = batch_scratch_.overlaps[i];
     if (request.shots > 0)
       out[i].samples = std::move(batch_scratch_.samples[i]);
-    if (request.timings)
-      out[i].timings = Timings{precompute_ns_, batch_ns, 0};
+    if (request.timings) {
+      // Per-item attribution from the batch engine (this schedule's own
+      // evolution and scoring time), plus the whole-call wall time so
+      // callers can still see what the submission cost end to end.
+      Timings t;
+      t.precompute_ns = precompute_ns_;
+      t.simulate_ns = batch_scratch_.simulate_ns[i];
+      t.reduce_ns = batch_scratch_.reduce_ns[i];
+      t.batch_ns = batch_ns;
+      out[i].timings = std::move(t);
+    }
   }
   return out;
 }

@@ -21,6 +21,7 @@
 
 #include "api/spec.hpp"
 #include "batch/batch_eval.hpp"
+#include "obs/obs.hpp"
 #include "optimize/nelder_mead.hpp"
 #include "optimize/params.hpp"
 #include "optimize/spsa.hpp"
@@ -52,6 +53,11 @@ struct Timings {
   /// team setup + compute; compare single-node numbers, not dist ones,
   /// against BENCH_pipeline.json.
   std::vector<std::uint64_t> layer_ns{};
+  /// Batched calls only: wall time of the whole evaluate_batch submission
+  /// this item rode in (the same value on every item of one call; 0 for
+  /// scalar evaluate()). simulate_ns / reduce_ns above are this item's
+  /// own evolution / scoring time.
+  std::uint64_t batch_ns = 0;
 };
 
 /// What an evaluate() / evaluate_batch() call should compute.
@@ -172,6 +178,12 @@ class ProblemSession {
   int num_qubits() const { return sim_->num_qubits(); }
   /// Wall time of the one-time diagonal precompute at construction.
   std::uint64_t precompute_ns() const { return precompute_ns_; }
+  /// Scrape the process-wide metrics registry (src/obs/): every counter,
+  /// gauge, and histogram, merged across threads. Metrics are
+  /// process-global, not per-session -- this is a convenience handle on
+  /// qokit::obs::snapshot(). Empty values unless observability is on
+  /// (QOKIT_OBS=1 or a spec with obs=on).
+  obs::Snapshot metrics() const { return obs::snapshot(); }
 
  private:
   SimulatorSpec spec_;

@@ -113,6 +113,9 @@ bool apply_option(std::string_view token, std::string_view name,
     if (value == "auto") spec->pipeline = pipeline::PipelineMode::Auto, ok = true;
     else if (value == "on") spec->pipeline = pipeline::PipelineMode::On, ok = true;
     else if (value == "off") spec->pipeline = pipeline::PipelineMode::Off, ok = true;
+  } else if (key == "obs") {
+    if (value == "on") spec->obs = true, ok = true;
+    else if (value == "off") spec->obs = false, ok = true;
   }
   if (!ok) bad_token(token, name);
   return true;
@@ -204,6 +207,7 @@ std::string SimulatorSpec::to_string() const {
     out += pipeline == pipeline::PipelineMode::On ? ":pipeline=on"
                                                   : ":pipeline=off";
   if (sample_seed != 1) out += ":seed=" + std::to_string(sample_seed);
+  if (obs) out += ":obs=on";
   return out;
 }
 

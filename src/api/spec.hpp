@@ -61,6 +61,7 @@ enum class SimdChoice {
 ///            | "simd="     ("auto" | "scalar" | "avx2")
 ///            | "seed="     <uint64>             (sampling seed)
 ///            | "pipeline=" ("auto" | "on" | "off")
+///            | "obs="      ("on" | "off")
 ///
 /// Any other token throws std::invalid_argument naming the offending
 /// token -- no spelling silently falls back to a default simulator.
@@ -90,6 +91,12 @@ struct SimulatorSpec {
   /// oracle path, bit-identical by contract. Ignored by Backend::Gatesim
   /// (gate-at-a-time evolution has no layer plan).
   pipeline::PipelineMode pipeline = pipeline::PipelineMode::Auto;
+  /// Runtime observability (src/obs/). obs=on turns the process-global
+  /// instrumentation flag on when the session is built (same switch as the
+  /// QOKIT_OBS environment variable); the default leaves whatever the
+  /// environment chose untouched. Like simd=, this is process-global and
+  /// sticky -- obs=on is never un-set by a later default-spec session.
+  bool obs = false;
 
   /// Parse a spelling per the grammar above. Throws std::invalid_argument
   /// naming the offending token on anything unrecognized.

@@ -1,15 +1,24 @@
 #include "batch/batch_eval.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "statevector/sampling.hpp"
 
 namespace qokit {
 namespace {
+
+std::uint64_t tick_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Fill the requested per-schedule outputs from an evolved state. Always
 /// called on the submitting thread, in schedule order, so every reduction
@@ -88,22 +97,50 @@ void BatchEvaluator::evaluate_into(std::span<const QaoaParams> schedules,
   out.overlaps.resize(opts.compute_overlap ? m : 0);
   out.states.resize(opts.keep_states ? m : 0);
   out.samples.resize(opts.sample_shots > 0 ? m : 0);
+  out.simulate_ns.resize(opts.record_timings ? m : 0);
+  out.reduce_ns.resize(opts.record_timings ? m : 0);
+
+  static const obs::Counter batch_calls =
+      obs::counter("qokit_batch_calls_total");
+  static const obs::Counter batch_schedules =
+      obs::counter("qokit_batch_schedules_total");
+  static const obs::Counter scratch_hits =
+      obs::counter("qokit_batch_scratch_hits_total");
+  static const obs::Counter scratch_allocs =
+      obs::counter("qokit_batch_scratch_allocs_total");
+  batch_calls.add();
+  batch_schedules.add(m);
+  obs::Span span("evaluate_batch");
+  span.attr("schedules", static_cast<std::int64_t>(m));
+  span.attr("mode",
+            out.used == BatchParallelism::Outer ? "outer" : "inner");
 
   // Evolve schedule i in slot: refill from the cached initial state (a
   // copy-assign that reuses the slot's buffer, so no allocation after the
   // slot's first use), then the consume-in-place evolution; the buffer
   // round-trips through moves and comes back to the slot.
   auto evolve = [&](std::size_t i, StateVector& slot) {
+    // A slot already sized like the initial state refills in place; a
+    // fresh (or wrongly sized) slot pays a statevector allocation.
+    if (slot.size() == init_.size()) scratch_hits.add();
+    else scratch_allocs.add();
+    const std::uint64_t t0 = opts.record_timings ? tick_ns() : 0;
     slot = init_;
     slot = sim_->simulate_qaoa_from(std::move(slot), schedules[i].gammas,
                                     schedules[i].betas);
+    if (opts.record_timings) out.simulate_ns[i] = tick_ns() - t0;
+  };
+  auto score = [&](std::size_t i, StateVector& slot) {
+    const std::uint64_t t0 = opts.record_timings ? tick_ns() : 0;
+    score_one(*sim_, opts, i, slot, out);
+    if (opts.record_timings) out.reduce_ns[i] = tick_ns() - t0;
   };
 
   if (out.used == BatchParallelism::Inner) {
     StateVector& slot = scratch_.front();
     for (std::size_t i = 0; i < m; ++i) {
       evolve(i, slot);
-      score_one(*sim_, opts, i, slot, out);
+      score(i, slot);
     }
     return;
   }
@@ -136,8 +173,8 @@ void BatchEvaluator::evaluate_into(std::span<const QaoaParams> schedules,
     for (const std::exception_ptr& e : errors)
       if (e) std::rethrow_exception(e);
     for (std::int64_t c = 0; c < chunk; ++c)
-      score_one(*sim_, opts, base + static_cast<std::size_t>(c),
-                scratch_[static_cast<std::size_t>(c)], out);
+      score(base + static_cast<std::size_t>(c),
+            scratch_[static_cast<std::size_t>(c)]);
   }
 }
 

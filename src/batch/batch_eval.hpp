@@ -51,6 +51,11 @@ struct BatchOptions {
   bool keep_states = false;  ///< fill BatchResult::states (copies; test aid)
   int sample_shots = 0;      ///< >0: sample this many bitstrings/schedule
   std::uint64_t sample_seed = 1;  ///< schedule i samples with seed+i
+  /// Fill BatchResult::simulate_ns / reduce_ns with per-schedule wall
+  /// times. Evolution is timed on whichever thread ran it (valid in Outer
+  /// mode: schedule(static, 1) pins each slot to one thread); scoring is
+  /// timed on the submitting thread where it always runs.
+  bool record_timings = false;
 };
 
 /// Per-schedule outputs, indexed like the submitted schedule span.
@@ -59,6 +64,10 @@ struct BatchResult {
   std::vector<double> overlaps;      ///< empty unless compute_overlap
   std::vector<StateVector> states;   ///< empty unless keep_states
   std::vector<std::vector<std::uint64_t>> samples;  ///< empty unless shots
+  /// Per-schedule evolution / scoring wall time in nanoseconds; empty
+  /// unless record_timings.
+  std::vector<std::uint64_t> simulate_ns;
+  std::vector<std::uint64_t> reduce_ns;
   BatchParallelism used = BatchParallelism::Inner;  ///< mode that ran
 };
 

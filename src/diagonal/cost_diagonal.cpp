@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "obs/obs.hpp"
 
 namespace qokit {
 
@@ -31,6 +32,15 @@ CostDiagonal::Cache& CostDiagonal::cache() const {
 
 CostDiagonal CostDiagonal::precompute(const TermList& terms, Exec exec,
                                       PrecomputeStrategy strategy) {
+  static const obs::Counter precomputes =
+      obs::counter("qokit_precomputes_total");
+  static const obs::Histogram precompute_hist =
+      obs::histogram("qokit_precompute_ns");
+  precomputes.add();
+  obs::HistTimer timer(precompute_hist);
+  obs::Span span("precompute");
+  span.attr("n", terms.num_qubits());
+  span.attr("terms", static_cast<std::int64_t>(terms.size()));
   CostDiagonal d;
   d.n_ = terms.num_qubits();
   const std::int64_t dim = static_cast<std::int64_t>(dim_of(d.n_));

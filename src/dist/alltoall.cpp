@@ -5,10 +5,12 @@
 #include "dist/alltoall.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "dist/communicator.hpp"
+#include "obs/obs.hpp"
 
 namespace qokit {
 
@@ -36,18 +38,68 @@ namespace {
 
 using detail::WorldState;
 
+/// Per-transport instrumentation: calls / exchanged bytes / barrier rounds
+/// counters plus a histogram of time this rank spent waiting at barriers
+/// (the load-imbalance signal). One set per transport so a mixed workload
+/// stays attributable.
+struct TransportMetrics {
+  obs::Counter calls;
+  obs::Counter bytes;
+  obs::Counter rounds;
+  obs::Histogram wait_ns;
+};
+
+const TransportMetrics& transport_metrics(AlltoallStrategy strategy) {
+  static const TransportMetrics staged{
+      obs::counter("qokit_alltoall_staged_calls_total"),
+      obs::counter("qokit_alltoall_staged_bytes_total"),
+      obs::counter("qokit_alltoall_staged_rounds_total"),
+      obs::histogram("qokit_alltoall_staged_wait_ns")};
+  static const TransportMetrics pairwise{
+      obs::counter("qokit_alltoall_pairwise_calls_total"),
+      obs::counter("qokit_alltoall_pairwise_bytes_total"),
+      obs::counter("qokit_alltoall_pairwise_rounds_total"),
+      obs::histogram("qokit_alltoall_pairwise_wait_ns")};
+  static const TransportMetrics direct{
+      obs::counter("qokit_alltoall_direct_calls_total"),
+      obs::counter("qokit_alltoall_direct_bytes_total"),
+      obs::counter("qokit_alltoall_direct_rounds_total"),
+      obs::histogram("qokit_alltoall_direct_wait_ns")};
+  switch (strategy) {
+    case AlltoallStrategy::Staged: return staged;
+    case AlltoallStrategy::Pairwise: return pairwise;
+    default: return direct;
+  }
+}
+
+/// Barrier arrival that accumulates this rank's wait time into *wait_ns
+/// when observability is on (wait_ns == nullptr otherwise — the barrier
+/// call itself is then untouched).
+void barrier_wait(WorldState& st, std::uint64_t* wait_ns) {
+  if (!wait_ns) {
+    st.barrier.arrive_and_wait();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  st.barrier.arrive_and_wait();
+  *wait_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 /// MPI_Alltoall model: scatter into a central staging buffer laid out
 /// destination-major, then every rank reads its row back contiguously.
 /// Two full copies of the exchanged data.
 void alltoall_staged(WorldState& st, int rank, cdouble* buf,
-                     std::uint64_t block) {
+                     std::uint64_t block, std::uint64_t* wait_ns) {
   const int k = st.size;
   const std::uint64_t total = static_cast<std::uint64_t>(k) * k * block;
   // Entry barrier doubles as the guard that every rank has finished reading
   // the staging buffer from any previous exchange before rank 0 regrows it.
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   if (rank == 0 && st.staging.size() < total) st.staging.resize(total);
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   // If any rank died (in particular rank 0, which owns the resize above),
   // the staging buffer cannot be trusted; abandon the exchange and let
   // run() re-throw after the join.
@@ -57,11 +109,11 @@ void alltoall_staged(WorldState& st, int rank, cdouble* buf,
     std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
                 st.staging.data() +
                     (static_cast<std::uint64_t>(b) * k + rank) * block);
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   // My row is contiguous: block b = what rank b sent to me.
   std::copy_n(st.staging.data() + static_cast<std::uint64_t>(rank) * k * block,
               static_cast<std::uint64_t>(k) * block, buf);
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
 }
 
 /// GPU p2p model: K-1 XOR-scheduled rounds of direct block swaps. In round
@@ -70,10 +122,10 @@ void alltoall_staged(WorldState& st, int rank, cdouble* buf,
 /// Each block is touched in exactly one round, so the rounds compose into
 /// the full transpose with a single copy per element.
 void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
-                       std::uint64_t block) {
+                       std::uint64_t block, std::uint64_t* wait_ns) {
   const int k = st.size;
   st.windows[rank] = buf;
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   for (int s = 1; s < k; ++s) {
     // A peer that threw never (re)published its window; abandon the
     // exchange rather than swap through a stale or null pointer. run()
@@ -86,7 +138,7 @@ void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
           st.windows[peer] + static_cast<std::uint64_t>(rank) * block;
       std::swap_ranges(mine, mine + block, theirs);
     }
-    st.barrier.arrive_and_wait();
+    barrier_wait(st, wait_ns);
   }
 }
 
@@ -94,39 +146,65 @@ void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
 /// peer writes its outgoing block straight into it; one remote write plus
 /// one local copy back into the live buffer.
 void alltoall_direct(WorldState& st, int rank, cdouble* buf,
-                     std::uint64_t block, std::vector<cdouble>& recv) {
+                     std::uint64_t block, std::vector<cdouble>& recv,
+                     std::uint64_t* wait_ns) {
   const int k = st.size;
   recv.resize(static_cast<std::uint64_t>(k) * block);
   st.windows[rank] = recv.data();
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   // See alltoall_pairwise: never write into a dead rank's window.
   if (st.failed.load(std::memory_order_acquire)) return;
   for (int b = 0; b < k; ++b)
     std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
                 st.windows[b] + static_cast<std::uint64_t>(rank) * block);
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
   std::copy_n(recv.data(), recv.size(), buf);
   // Exit barrier: nobody re-publishes a window (next exchange) while a
   // peer is still draining its receive slice.
-  st.barrier.arrive_and_wait();
+  barrier_wait(st, wait_ns);
 }
 
 }  // namespace
 
 void Communicator::alltoall(cdouble* buf, std::uint64_t block) {
   if (state_->size == 1) return;  // self-exchange is the identity
+  const bool observed = obs::enabled();
+  const int k = state_->size;
+  const std::uint64_t xfer_bytes =
+      static_cast<std::uint64_t>(k) * block * sizeof(cdouble);
+  obs::Span span("alltoall");
+  std::uint64_t wait_acc = 0;
+  std::uint64_t* wait_ns = nullptr;
+  const TransportMetrics* m = nullptr;
+  if (observed) {
+    m = &transport_metrics(state_->strategy);
+    m->calls.add();
+    m->bytes.add(xfer_bytes);
+    // Barrier-synchronized communication rounds per call: staged does a
+    // scatter and a gather, pairwise one swap round per peer, direct one
+    // one-sided write phase.
+    m->rounds.add(state_->strategy == AlltoallStrategy::Pairwise
+                      ? static_cast<std::uint64_t>(k - 1)
+                      : state_->strategy == AlltoallStrategy::Staged ? 2 : 1);
+    span.attr("transport", to_string(state_->strategy).data());
+    span.attr("bytes", xfer_bytes);
+    span.attr("ranks", k);
+    wait_ns = &wait_acc;
+  }
   switch (state_->strategy) {
     case AlltoallStrategy::Staged:
-      alltoall_staged(*state_, rank_, buf, block);
-      return;
+      alltoall_staged(*state_, rank_, buf, block, wait_ns);
+      break;
     case AlltoallStrategy::Pairwise:
-      alltoall_pairwise(*state_, rank_, buf, block);
-      return;
+      alltoall_pairwise(*state_, rank_, buf, block, wait_ns);
+      break;
     case AlltoallStrategy::Direct:
-      alltoall_direct(*state_, rank_, buf, block, recv_);
-      return;
+      alltoall_direct(*state_, rank_, buf, block, recv_, wait_ns);
+      break;
+    default:
+      throw std::logic_error("alltoall: unknown strategy");
   }
-  throw std::logic_error("alltoall: unknown strategy");
+  if (observed) m->wait_ns.record(wait_acc);
 }
 
 }  // namespace qokit

@@ -5,10 +5,14 @@
 #include <thread>
 
 #include "common/bitops.hpp"
+#include "obs/obs.hpp"
 
 namespace qokit {
 
 double Communicator::allreduce_sum(double value) {
+  static const obs::Counter allreduces =
+      obs::counter("qokit_allreduce_total");
+  allreduces.add();
   auto& st = *state_;
   st.reduce_slots[rank_] = value;
   st.barrier.arrive_and_wait();

@@ -9,6 +9,7 @@
 #include "common/bitops.hpp"
 #include "diagonal/ops.hpp"
 #include "fur/su2.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/layer_exec.hpp"
 
 namespace qokit {
@@ -66,6 +67,9 @@ DistributedFurSimulator::DistributedFurSimulator(const TermList& terms,
   // element-major kernel the paper runs once per problem on every
   // GPU/rank. Identical term order to CostDiagonal::precompute, so the
   // result is bit-identical to the single-node diagonal.
+  obs::Span span("precompute");
+  span.attr("n", n);
+  span.attr("ranks", cfg_.ranks);
   aligned_vector<double> values(dim_of(n));
   double* out = values.data();
   const std::uint64_t local = values.size() >> log2_ranks_;
@@ -97,6 +101,10 @@ StateVector DistributedFurSimulator::simulate_qaoa_from(
     throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
   if (state.num_qubits() != num_qubits())
     throw std::invalid_argument("simulate_qaoa: state size mismatch");
+  obs::Span span("simulate");
+  span.attr("n", num_qubits());
+  span.attr("p", static_cast<std::int64_t>(gammas.size()));
+  span.attr("ranks", cfg_.ranks);
   const std::uint64_t local = state.size() >> log2_ranks_;
   cdouble* data = state.data();
   const double* costs = diag_.data();

@@ -5,6 +5,7 @@
 #include "common/aligned.hpp"
 #include "common/bitops.hpp"
 #include "diagonal/ops.hpp"
+#include "obs/obs.hpp"
 #include "pipeline/layer_exec.hpp"
 
 namespace qokit {
@@ -71,6 +72,10 @@ StateVector FurQaoaSimulator::simulate_qaoa_from(
     throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
   if (state.num_qubits() != num_qubits())
     throw std::invalid_argument("simulate_qaoa: state size mismatch");
+  obs::Span span("simulate");
+  span.attr("n", num_qubits());
+  span.attr("p", static_cast<std::int64_t>(gammas.size()));
+  span.attr("fused", plan_.active() ? 1 : 0);
   if (plan_.active()) {
     // Fused layer pipeline: the phase multiply rides the first mixer
     // sweep and butterflies run in cache-blocked tiles, cutting full

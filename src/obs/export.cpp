@@ -1,0 +1,246 @@
+// Exporters: merged metric snapshot, JSON / Prometheus text renderings,
+// the chrome://tracing trace-event document, and the file dump.
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs_internal.hpp"
+
+namespace qokit::obs {
+
+namespace {
+
+using detail::Global;
+using detail::MetricDef;
+using detail::MetricKind;
+using detail::Shard;
+using detail::TraceEvent;
+
+/// Minimal JSON string escaping (metric names are ours, but attribute
+/// strings pass through here too).
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Merged value of cell `c` under the registry lock.
+std::uint64_t merged(const Global& g, int cell) {
+  std::uint64_t total = g.retired[static_cast<std::size_t>(cell)];
+  for (const Shard* s = g.shards; s; s = s->next)
+    total += s->cells[static_cast<std::size_t>(cell)].load(
+        std::memory_order_relaxed);
+  return total;
+}
+
+void append_trace_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":\"";
+  append_escaped(out, e.name ? e.name : "?");
+  out += "\",\"cat\":\"qokit\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+  out += std::to_string(e.tid);
+  char buf[64];
+  // chrome://tracing timestamps are microseconds.
+  std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f",
+                static_cast<double>(e.ts_ns) / 1e3,
+                static_cast<double>(e.dur_ns) / 1e3);
+  out += buf;
+  out += ",\"args\":{\"depth\":";
+  out += std::to_string(e.depth);
+  for (int i = 0; i < e.n_attrs; ++i) {
+    const Attr& a = e.attrs[i];
+    out += ",\"";
+    append_escaped(out, a.key ? a.key : "?");
+    out += "\":";
+    if (a.tag == 'i') {
+      out += std::to_string(a.i);
+    } else if (a.tag == 'f') {
+      append_double(out, a.f);
+    } else {
+      out += '"';
+      append_escaped(out, a.s ? a.s : "");
+      out += '"';
+    }
+  }
+  out += "}}";
+}
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+Snapshot snapshot() {
+  Global& g = detail::global();
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const MetricDef& def : g.metrics) {
+    switch (def.kind) {
+      case MetricKind::Counter:
+        snap.counters.emplace_back(def.name, merged(g, def.cell));
+        break;
+      case MetricKind::Gauge:
+        snap.gauges.emplace_back(
+            def.name, std::bit_cast<double>(
+                          g.gauges[static_cast<std::size_t>(def.gauge_slot)]
+                              .load(std::memory_order_relaxed)));
+        break;
+      case MetricKind::Histogram: {
+        HistogramSnapshot h;
+        h.bounds = def.bounds;
+        const int n_buckets = static_cast<int>(def.bounds.size()) + 1;
+        h.buckets.resize(static_cast<std::size_t>(n_buckets));
+        for (int b = 0; b < n_buckets; ++b) {
+          h.buckets[static_cast<std::size_t>(b)] = merged(g, def.cell + b);
+          h.count += h.buckets[static_cast<std::size_t>(b)];
+        }
+        h.sum = merged(g, def.cell + n_buckets);
+        snap.histograms.emplace_back(def.name, std::move(h));
+        break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ';
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    // Prometheus buckets are cumulative over ascending le bounds.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.buckets[i];
+      out += name + "_bucket{le=\"" + std::to_string(h.bounds[i]) +
+             "\"} " + std::to_string(cum) + '\n';
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += name + "_sum " + std::to_string(h.sum) + '\n';
+    out += name + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+std::string trace_json() {
+  Global& g = detail::global();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const TraceEvent& e) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    append_trace_event(out, e);
+  };
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const TraceEvent& e : g.retired_events) emit(e);
+  for (Shard* s = g.shards; s; s = s->next) {
+    std::lock_guard<std::mutex> elock(s->events_mu);
+    for (const TraceEvent& e : s->events) emit(e);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool dump() {
+  if (!enabled()) return false;
+  const char* env_prefix = std::getenv("QOKIT_OBS_PATH");
+  const std::string prefix = env_prefix ? env_prefix : "";
+  const Snapshot snap = snapshot();
+  bool ok = write_file(prefix + "qokit_obs_metrics.json", snap.to_json());
+  ok = write_file(prefix + "qokit_obs_metrics.prom",
+                  snap.to_prometheus()) &&
+       ok;
+  ok = write_file(prefix + "qokit_obs_trace.json", trace_json()) && ok;
+  return ok;
+}
+
+}  // namespace qokit::obs

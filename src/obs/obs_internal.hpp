@@ -1,0 +1,98 @@
+// Shared internals of the observability layer (registry.cpp, trace.cpp,
+// export.cpp). Not part of the public surface.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace qokit::obs::detail {
+
+/// Fixed metric-cell arena per shard. Counters take one cell, histograms
+/// bounds+2 (per-bound buckets, overflow, sum). Registration throws once
+/// the arena is exhausted — the metric set is code, not data, so the cap
+/// is a static budget, not a runtime limit.
+inline constexpr int kMaxCells = 1024;
+inline constexpr int kMaxGauges = 64;
+/// Per-thread trace-event retention; spans beyond it are dropped and
+/// counted so a runaway obs-on loop stays memory-bounded.
+inline constexpr int kMaxShardEvents = 1 << 15;
+/// Cross-thread retention for events of finished threads (the distributed
+/// simulator retires one rank team per simulate call).
+inline constexpr int kMaxRetainedEvents = 1 << 17;
+
+/// A finished span, ready for chrome://tracing export.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   ///< start, relative to the process epoch
+  std::uint64_t dur_ns = 0;
+  int tid = 0;   ///< obs-assigned sequential thread id
+  int depth = 0; ///< nesting depth at open (0 = top-level)
+  int n_attrs = 0;
+  Attr attrs[kMaxSpanAttrs];
+};
+
+/// One thread's slice of the registry: metric cells it alone writes
+/// (relaxed atomics so scrapes may read concurrently) plus its trace
+/// buffer (guarded by a tiny mutex taken on span close and drain only —
+/// never by other threads' hot paths).
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCells> cells{};
+  std::mutex events_mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+  Shard* next = nullptr;
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+struct MetricDef {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  int cell = -1;        ///< first cell (counter: 1, histogram: bounds+2)
+  int gauge_slot = -1;  ///< gauges only
+  std::vector<std::uint64_t> bounds;  ///< histograms only; heap buffer is
+                                      ///< stable, handles point into it
+};
+
+/// Process-wide registry state. Leaked on purpose: threads may retire
+/// shards during program teardown, so the registry must outlive every
+/// static destructor.
+struct Global {
+  std::mutex mu;  ///< metric defs, shard list, retired accumulators
+  std::vector<MetricDef> metrics;
+  std::unordered_map<std::string, int> index;  ///< name -> metrics index
+  int next_cell = 0;
+  int next_gauge = 0;
+  std::array<std::atomic<std::uint64_t>, kMaxGauges> gauges{};  ///< bits
+  Shard* shards = nullptr;  ///< live shards, intrusive list
+  std::array<std::uint64_t, kMaxCells> retired{};  ///< dead threads' cells
+  std::vector<TraceEvent> retired_events;
+  std::atomic<int> next_tid{1};
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Global& global();
+
+/// This thread's shard, created (and linked into the registry) on first
+/// use. Retired — cells merged, events moved — when the thread exits.
+Shard& my_shard();
+
+/// Nanoseconds since the registry epoch.
+std::uint64_t now_ns() noexcept;
+
+/// Append a finished span to this thread's buffer (bounded; drops count).
+void push_event(const TraceEvent& event) noexcept;
+
+/// Per-thread span nesting depth.
+int& span_depth() noexcept;
+
+}  // namespace qokit::obs::detail

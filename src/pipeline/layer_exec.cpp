@@ -27,10 +27,25 @@
 #include "common/bitops.hpp"
 #include "common/parallel.hpp"
 #include "fur/fwht.hpp"
+#include "obs/obs.hpp"
 #include "simd/kernels.hpp"
 
 namespace qokit::pipeline {
 namespace {
+
+/// Pass-shape counters, incremented once per pass (never inside the
+/// per-unit loops) so observability's cost scales with passes, not tiles.
+const obs::Counter& tile_pass_counter() {
+  static const obs::Counter c =
+      obs::counter("qokit_pipeline_tile_passes_total");
+  return c;
+}
+
+const obs::Counter& strided_pass_counter() {
+  static const obs::Counter c =
+      obs::counter("qokit_pipeline_strided_passes_total");
+  return c;
+}
 
 using simd::detail::Kernels;
 
@@ -162,11 +177,21 @@ void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
       fill_x_mixer_phase_table(plan.num_qubits(), beta, pop_table);
       break;
     }
+  obs::Span span("pipeline_layer");
+  span.attr("n", plan.num_qubits());
+  span.attr("passes", static_cast<std::int64_t>(plan.passes().size()));
   for (const LayerPass& p : plan.passes()) {
-    if (p.strided)
+    obs::Span pspan(p.strided ? "strided_pass" : "tile_pass");
+    pspan.attr("q_begin", p.q_begin);
+    pspan.attr("q_end", p.q_end);
+    pspan.attr("width_log2", p.width_log2);
+    if (p.strided) {
+      strided_pass_counter().add();
       run_strided_pass(k, p, amp, n_amps, pop_table, c, s, exec);
-    else
+    } else {
+      tile_pass_counter().add();
       run_tile_pass(k, p, amp, n_amps, phase, gamma, pop_table, c, s, exec);
+    }
   }
 }
 
@@ -179,11 +204,16 @@ void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
     throw std::invalid_argument("pipeline::run_sweep: array size mismatch");
   const Kernels& k = simd::detail::active_kernels();
   const PhaseCtx no_phase;
+  obs::Span span("pipeline_sweep");
+  span.attr("n", plan.num_qubits());
   for (const LayerPass& p : plan.passes()) {
-    if (p.strided)
+    if (p.strided) {
+      strided_pass_counter().add();
       run_strided_pass(k, p, amp, n_amps, nullptr, c, s, exec);
-    else
+    } else {
+      tile_pass_counter().add();
       run_tile_pass(k, p, amp, n_amps, no_phase, 0.0, nullptr, c, s, exec);
+    }
   }
 }
 

@@ -6,6 +6,8 @@
 // kernel families themselves are branch-free straight-line loops.
 #include "simd/kernels.hpp"
 
+#include "obs/obs.hpp"
+
 namespace qokit {
 namespace simd {
 
@@ -20,8 +22,28 @@ const Kernels& active_kernels() noexcept {
 
 }  // namespace detail
 
+namespace {
+
+/// Count one dispatch-entry call against the active kernel family.
+/// Incremented at entry -- before the block decomposition -- so the totals
+/// are identical for Serial and Parallel execution of the same workload.
+void count_kernel_call() {
+  if (!obs::enabled()) return;
+  static const obs::Counter scalar_calls =
+      obs::counter("qokit_kernel_calls_scalar_total");
+  static const obs::Counter avx2_calls =
+      obs::counter("qokit_kernel_calls_avx2_total");
+  static const obs::Gauge level = obs::gauge("qokit_simd_level");
+  const bool avx2 = active_simd_level() == SimdLevel::Avx2;
+  (avx2 ? avx2_calls : scalar_calls).add();
+  level.set(avx2 ? 1.0 : 0.0);
+}
+
+}  // namespace
+
 void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
                        double gamma, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
@@ -32,6 +54,7 @@ void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
 
 void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
                        const cdouble* table, std::uint64_t count, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
@@ -43,6 +66,7 @@ void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
 void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
                           std::uint64_t count, const cdouble* table,
                           Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
@@ -54,6 +78,7 @@ void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
 
 void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
         Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
                       kSimdBlock, [&](std::int64_t b, std::int64_t e) {
@@ -63,6 +88,7 @@ void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
 }
 
 void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
                       kSimdBlock, [&](std::int64_t b, std::int64_t e) {
@@ -74,6 +100,7 @@ void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
 
 double expectation_slice(const cdouble* amp, const double* costs,
                          std::uint64_t count, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,
@@ -86,6 +113,7 @@ double expectation_slice(const cdouble* amp, const double* costs,
 double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
                        double offset, double scale, std::uint64_t count,
                        Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,
@@ -96,6 +124,7 @@ double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
 }
 
 double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,
@@ -106,6 +135,7 @@ double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
 
 double overlap_ground(const cdouble* amp, const double* costs,
                       double threshold, std::uint64_t count, Exec exec) {
+  count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,

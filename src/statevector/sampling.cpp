@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace qokit {
+namespace {
+
+const obs::Counter& draw_counter() {
+  static const obs::Counter c = obs::counter("qokit_sampler_draws_total");
+  return c;
+}
+
+}  // namespace
 
 StateSampler::StateSampler(const StateVector& sv) {
+  static const obs::Counter builds =
+      obs::counter("qokit_sampler_builds_total");
+  builds.add();
+  obs::Span span("sampler_build");
+  span.attr("n", sv.num_qubits());
   cumulative_.resize(sv.size());
   double acc = 0.0;
   for (std::uint64_t x = 0; x < sv.size(); ++x) {
@@ -32,6 +47,7 @@ std::uint64_t StateSampler::sample_from_uniform(double u01) const {
 }
 
 std::uint64_t StateSampler::sample(Rng& rng) const {
+  draw_counter().add();
   return sample_from_uniform(rng.uniform());
 }
 

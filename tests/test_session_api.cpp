@@ -52,20 +52,22 @@ TEST(SimulatorSpec, RoundTripsOverTheFullGrid) {
                      {pipeline::PipelineMode::Auto,
                       pipeline::PipelineMode::On,
                       pipeline::PipelineMode::Off})
-                  for (const std::uint64_t seed : {1ull, 42ull}) {
-                    SimulatorSpec spec;
-                    spec.backend = backend;
-                    spec.mixer = mixer;
-                    spec.exec = exec;
-                    spec.ranks = ranks;
-                    spec.alltoall = strategy;
-                    spec.initial_weight = weight;
-                    spec.simd = simd;
-                    spec.pipeline = pipe;
-                    spec.sample_seed = seed;
-                    const std::string name = spec.to_string();
-                    EXPECT_EQ(SimulatorSpec::parse(name), spec) << name;
-                  }
+                  for (const std::uint64_t seed : {1ull, 42ull})
+                    for (const bool obs : {false, true}) {
+                      SimulatorSpec spec;
+                      spec.backend = backend;
+                      spec.mixer = mixer;
+                      spec.exec = exec;
+                      spec.ranks = ranks;
+                      spec.alltoall = strategy;
+                      spec.initial_weight = weight;
+                      spec.simd = simd;
+                      spec.pipeline = pipe;
+                      spec.sample_seed = seed;
+                      spec.obs = obs;
+                      const std::string name = spec.to_string();
+                      EXPECT_EQ(SimulatorSpec::parse(name), spec) << name;
+                    }
 }
 
 TEST(SimulatorSpec, ParsesLegacyAndExtendedSpellings) {
