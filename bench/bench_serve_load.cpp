@@ -1,0 +1,231 @@
+// Schedule-server load bench: concurrent in-process clients hammering a
+// ScheduleServer with (problem, schedule-batch) requests, emitting
+// BENCH_serve.json (requests/s and p50/p99 client-observed latency per
+// client count).
+//
+// Doubles as the serving-economics acceptance check: after one warmup
+// request per problem, every further request must be a cache hit, and the
+// qokit_precomputes_total obs counter must stay FLAT across the whole load
+// run -- a cache-hit request pays zero diagonal precompute (the paper's
+// amortization carried to the serving boundary). A rising counter, a
+// cache miss after warmup, or any non-Ok response exits nonzero, so CI
+// smoke runs catch an economics regression, not just a crash.
+//
+// Smoke mode (QOKIT_BENCH_SMOKE=1 or --smoke): n = 10, 2 clients, a few
+// dozen requests -- keeps the JSON generation path alive in CI without
+// burning minutes.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "obs/obs.hpp"
+#include "problems/graph.hpp"
+#include "problems/maxcut.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace qokit;
+
+std::uint64_t counter_value(const obs::Snapshot& snap, const char* name) {
+  for (const auto& [key, value] : snap.counters)
+    if (key == name) return value;
+  return 0;
+}
+
+std::vector<QaoaParams> random_schedules(int count, int p,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QaoaParams> schedules(count);
+  for (QaoaParams& s : schedules) {
+    s.gammas.resize(p);
+    s.betas.resize(p);
+    for (int l = 0; l < p; ++l) {
+      s.gammas[l] = rng.uniform(-0.6, 0.6);
+      s.betas[l] = rng.uniform(-0.9, 0.9);
+    }
+  }
+  return schedules;
+}
+
+struct LoadResult {
+  int clients;
+  double rps;
+  double p50_us;
+  double p99_us;
+  std::uint64_t hits;
+  std::uint64_t misses;
+};
+
+double percentile_us(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t at = std::min(
+      sorted_us.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted_us.size())));
+  return sorted_us[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) ||
+      (std::getenv("QOKIT_BENCH_SMOKE") != nullptr);
+
+  // The precompute-flatness check reads qokit_precomputes_total, so the
+  // obs registry must be live before any session is built.
+  obs::set_enabled(true);
+
+  const int n = smoke ? 10 : 16;
+  const int num_problems = 4;
+  const int schedules_per_request = 4;
+  const int p = 2;
+  const int requests_per_client = smoke ? 25 : 200;
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+
+  std::vector<TermList> problems;
+  for (int i = 0; i < num_problems; ++i)
+    problems.push_back(
+        maxcut_terms(Graph::random_regular(n, 3, 900 + i)));
+  const std::vector<QaoaParams> schedules =
+      random_schedules(schedules_per_request, p, 77);
+
+  serve::ServerConfig config;
+  config.workers = smoke ? 2 : 4;
+  config.queue_capacity = 4096;
+  serve::ScheduleServer server(config);
+
+  const auto make_request = [&](int problem) {
+    serve::Request request;
+    request.terms = problems[static_cast<std::size_t>(problem)];
+    request.schedules = schedules;
+    return request;
+  };
+
+  // Warmup: pay each problem's precompute exactly once. Everything the
+  // timed load does afterwards must be a cache hit.
+  for (int i = 0; i < num_problems; ++i) {
+    const serve::Response r = server.submit_blocking(make_request(i));
+    if (r.status != serve::Status::Ok) {
+      std::fprintf(stderr, "warmup request %d failed: %s\n", i,
+                   r.error.c_str());
+      return 2;
+    }
+  }
+  const std::uint64_t precomputes_before =
+      counter_value(obs::snapshot(), "qokit_precomputes_total");
+
+  std::vector<LoadResult> results;
+  bool all_ok = true;
+  for (const int clients : client_counts) {
+    const serve::SessionCache::Stats before = server.cache_stats();
+    std::vector<std::vector<double>> latencies_us(
+        static_cast<std::size_t>(clients));
+    std::atomic<int> failures{0};
+    std::atomic<int> cold{0};  // cache misses after warmup: must stay 0
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c)
+      threads.emplace_back([&, c] {
+        std::vector<double>& mine =
+            latencies_us[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(requests_per_client));
+        for (int i = 0; i < requests_per_client; ++i) {
+          WallTimer t;
+          const serve::Response r =
+              server.submit_blocking(make_request((c + i) % num_problems));
+          mine.push_back(t.seconds() * 1e6);
+          if (r.status != serve::Status::Ok) failures.fetch_add(1);
+          if (!r.cache_hit) cold.fetch_add(1);
+        }
+      });
+    for (std::thread& t : threads) t.join();
+    const double seconds = wall.seconds();
+
+    std::vector<double> merged;
+    for (const std::vector<double>& v : latencies_us)
+      merged.insert(merged.end(), v.begin(), v.end());
+    std::sort(merged.begin(), merged.end());
+    const serve::SessionCache::Stats after = server.cache_stats();
+    const LoadResult result{
+        clients,
+        static_cast<double>(merged.size()) / seconds,
+        percentile_us(merged, 0.50),
+        percentile_us(merged, 0.99),
+        after.hits - before.hits,
+        after.misses - before.misses};
+    results.push_back(result);
+    std::printf(
+        "clients=%d  %8.1f req/s  p50 %9.1f us  p99 %9.1f us  hits %llu  "
+        "misses %llu\n",
+        result.clients, result.rps, result.p50_us, result.p99_us,
+        static_cast<unsigned long long>(result.hits),
+        static_cast<unsigned long long>(result.misses));
+    std::fflush(stdout);
+    if (failures.load() != 0 || cold.load() != 0) {
+      std::fprintf(stderr,
+                   "clients=%d: %d failed requests, %d cold requests\n",
+                   clients, failures.load(), cold.load());
+      all_ok = false;
+    }
+  }
+
+  // The economics pin: the whole load ran on cached sessions, so not one
+  // additional diagonal precompute was paid.
+  const std::uint64_t precomputes_after =
+      counter_value(obs::snapshot(), "qokit_precomputes_total");
+  const bool flat = precomputes_after == precomputes_before;
+  std::printf("qokit_precomputes_total: %llu before load, %llu after (%s)\n",
+              static_cast<unsigned long long>(precomputes_before),
+              static_cast<unsigned long long>(precomputes_after),
+              flat ? "flat" : "NOT FLAT");
+  server.shutdown();
+
+  std::FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (!out) {
+    std::perror("BENCH_serve.json");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::write_context(out, smoke);
+  std::fprintf(out,
+               "  \"n\": %d,\n"
+               "  \"problems\": %d,\n"
+               "  \"schedules_per_request\": %d,\n"
+               "  \"requests_per_client\": %d,\n"
+               "  \"workers\": %d,\n"
+               "  \"precomputes_before\": %llu,\n"
+               "  \"precomputes_after\": %llu,\n"
+               "  \"precomputes_flat\": %s,\n"
+               "  \"results\": [\n",
+               n, num_problems, schedules_per_request, requests_per_client,
+               config.workers,
+               static_cast<unsigned long long>(precomputes_before),
+               static_cast<unsigned long long>(precomputes_after),
+               flat ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LoadResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"clients\": %d, \"rps\": %.1f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu}%s\n",
+                 r.clients, r.rps, r.p50_us, r.p99_us,
+                 static_cast<unsigned long long>(r.hits),
+                 static_cast<unsigned long long>(r.misses),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  if (!all_ok) return 2;
+  return flat ? 0 : 3;
+}

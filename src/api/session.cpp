@@ -92,6 +92,8 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
                                     const EvalRequest& request) const {
   if (request.shots < 0)
     throw std::invalid_argument("EvalRequest: shots must be >= 0");
+  const detail::ReentrancyGuard::Scope scope(guard_,
+                                             "ProblemSession::evaluate");
   static const obs::Counter evaluates =
       obs::counter("qokit_evaluates_total");
   static const obs::Histogram layer_hist =
@@ -159,6 +161,8 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
 
 std::vector<EvalResult> ProblemSession::evaluate_batch(
     std::span<const QaoaParams> schedules, const EvalRequest& request) const {
+  const detail::ReentrancyGuard::Scope scope(
+      guard_, "ProblemSession::evaluate_batch");
   BatchOptions opts = batch_options_for(request, spec_.sample_seed);
   opts.record_timings = request.timings;
   const steady::time_point t0 = steady::now();
@@ -188,10 +192,14 @@ std::vector<EvalResult> ProblemSession::evaluate_batch(
 
 std::vector<double> ProblemSession::expectations(
     std::span<const QaoaParams> schedules) const {
+  const detail::ReentrancyGuard::Scope scope(
+      guard_, "ProblemSession::expectations");
   return evaluator_.expectations(schedules);
 }
 
 EvalResult ProblemSession::optimize(const OptimizerSpec& optimizer) const {
+  const detail::ReentrancyGuard::Scope scope(guard_,
+                                             "ProblemSession::optimize");
   if (optimizer.p < 1)
     throw std::invalid_argument("ProblemSession::optimize: p must be >= 1");
   QaoaParams start = optimizer.initial;
@@ -222,6 +230,8 @@ EvalResult ProblemSession::optimize(const OptimizerSpec& optimizer) const {
 }
 
 StateVector ProblemSession::simulate(const QaoaParams& schedule) const {
+  const detail::ReentrancyGuard::Scope scope(guard_,
+                                             "ProblemSession::simulate");
   return sim_->simulate_qaoa(schedule.gammas, schedule.betas);
 }
 

@@ -13,10 +13,13 @@
 // layer; each is a thin wrapper over a throwaway session.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "api/spec.hpp"
@@ -32,6 +35,47 @@
 #include "terms/term.hpp"
 
 namespace qokit::api {
+
+namespace detail {
+
+/// Cheap exclusive-entry guard for the session's single-caller contract.
+/// The reused scratch_/batch_scratch_ buffers make concurrent calls on one
+/// ProblemSession silent data corruption; Scope turns that misuse into an
+/// immediate std::logic_error instead (one uncontended atomic exchange on
+/// entry, a store on exit). Not a lock: the second caller fails, it never
+/// waits -- callers that want serialized access to one session go through
+/// serve::SessionCache, whose checkout hands out exclusive leases.
+class ReentrancyGuard {
+ public:
+  ReentrancyGuard() = default;
+  // A session is only movable between calls, so the flag never transfers:
+  // both sides come out idle.
+  ReentrancyGuard(ReentrancyGuard&&) noexcept {}
+  ReentrancyGuard& operator=(ReentrancyGuard&&) noexcept { return *this; }
+
+  class Scope {
+   public:
+    Scope(const ReentrancyGuard& guard, const char* what) : guard_(guard) {
+      if (guard_.busy_.exchange(true, std::memory_order_acquire))
+        throw std::logic_error(
+            std::string(what) +
+            ": concurrent call on one ProblemSession (sessions reuse "
+            "per-instance scratch and are single-caller; use one session "
+            "per thread or a serve::SessionCache checkout)");
+    }
+    ~Scope() { guard_.busy_.store(false, std::memory_order_release); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const ReentrancyGuard& guard_;
+  };
+
+ private:
+  mutable std::atomic<bool> busy_{false};
+};
+
+}  // namespace detail
 
 /// Where an evaluation's time went, in nanoseconds.
 struct Timings {
@@ -107,9 +151,17 @@ struct OptimizerSpec {
 /// calls perform zero re-precompute and zero steady-state statevector
 /// allocations (pinned by tests/test_session_api.cpp via the
 /// instrumented AlignedAllocator counter). Results are bit-identical to
-/// the legacy free functions on every backend. Not safe for concurrent
-/// calls on one instance (the scratch is per-instance); distinct
-/// sessions are independent. Movable, not copyable.
+/// the legacy free functions on every backend.
+///
+/// Single-caller contract: a session is NOT safe for concurrent calls on
+/// one instance -- evaluate / evaluate_batch / expectations / optimize /
+/// simulate mutate the per-instance scratch buffers. Concurrent entry is
+/// detected by an atomic reentrancy guard and throws std::logic_error
+/// instead of silently corrupting results (sample routes through evaluate
+/// and is covered by its guard). Distinct sessions are independent; a
+/// multi-threaded server shares sessions via serve::SessionCache, whose
+/// exclusive checkout upholds this contract. Movable (between calls only),
+/// not copyable.
 class ProblemSession {
  public:
   /// Precomputes the diagonal for `terms` under `spec` (the one expensive
@@ -193,6 +245,7 @@ class ProblemSession {
   BatchEvaluator evaluator_;
   mutable StateVector scratch_;       ///< scalar-evaluate slot, reused
   mutable BatchResult batch_scratch_; ///< reused across evaluate_batch calls
+  detail::ReentrancyGuard guard_;     ///< trips on concurrent entry
 };
 
 }  // namespace qokit::api

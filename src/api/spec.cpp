@@ -1,5 +1,6 @@
 #include "api/spec.hpp"
 
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <stdexcept>
@@ -68,11 +69,43 @@ std::string_view simd_token(SimdChoice simd) {
   }
 }
 
+[[noreturn]] void out_of_range_token(std::string_view token,
+                                     std::string_view name) {
+  throw std::invalid_argument("SimulatorSpec::parse: integer token '" +
+                              std::string(token) + "' in '" +
+                              std::string(name) +
+                              "' is out of range for its option");
+}
+
+enum class IntParse { Ok, Bad, OutOfRange };
+
+/// Strict full-token integer parse. Out-of-range digits are their own
+/// outcome (never wrapped or truncated into *out) so callers can name the
+/// overflow instead of reporting an "unrecognized token".
 template <class Int>
-bool parse_int(std::string_view token, Int* out) {
+IntParse parse_int(std::string_view token, Int* out) {
+  Int value{};
   const auto [ptr, ec] =
-      std::from_chars(token.data(), token.data() + token.size(), *out);
-  return ec == std::errc{} && ptr == token.data() + token.size();
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ptr != token.data() + token.size() ||
+      ec == std::errc::invalid_argument)
+    return IntParse::Bad;
+  if (ec == std::errc::result_out_of_range) return IntParse::OutOfRange;
+  *out = value;
+  return IntParse::Ok;
+}
+
+/// parse_int for option values: Ok on success, throws the out-of-range
+/// diagnostic itself, and reports Bad as `false` for the caller's
+/// bad_token path.
+template <class Int>
+bool parse_int_option(std::string_view token, std::string_view name,
+                      Int* out) {
+  switch (parse_int(token, out)) {
+    case IntParse::Ok: return true;
+    case IntParse::OutOfRange: out_of_range_token(token, name);
+    default: return false;
+  }
 }
 
 bool all_digits(std::string_view token) {
@@ -98,17 +131,17 @@ bool apply_option(std::string_view token, std::string_view name,
     ok = value == "serial" || value == "parallel";
     if (ok) spec->exec = value == "serial" ? Exec::Serial : Exec::Parallel;
   } else if (key == "ranks") {
-    ok = parse_int(value, &spec->ranks) && spec->ranks >= 1;
+    ok = parse_int_option(value, name, &spec->ranks) && spec->ranks >= 1;
   } else if (key == "alltoall") {
     ok = parse_strategy(value, &spec->alltoall);
   } else if (key == "weight") {
-    ok = parse_int(value, &spec->initial_weight);
+    ok = parse_int_option(value, name, &spec->initial_weight);
   } else if (key == "simd") {
     if (value == "auto") spec->simd = SimdChoice::Auto, ok = true;
     else if (value == "scalar") spec->simd = SimdChoice::Scalar, ok = true;
     else if (value == "avx2") spec->simd = SimdChoice::Avx2, ok = true;
   } else if (key == "seed") {
-    ok = parse_int(value, &spec->sample_seed);
+    ok = parse_int_option(value, name, &spec->sample_seed);
   } else if (key == "pipeline") {
     if (value == "auto") spec->pipeline = pipeline::PipelineMode::Auto, ok = true;
     else if (value == "on") spec->pipeline = pipeline::PipelineMode::On, ok = true;
@@ -155,8 +188,11 @@ SimulatorSpec SimulatorSpec::parse(std::string_view name) {
                                  : next - pos - 1);
     pos = next;
     if (want_dist_ranks && all_digits(token)) {
-      if (!parse_int(token, &spec.ranks) || spec.ranks < 1)
-        bad_token(token, name);
+      // All-digit tokens that overflow int must fail as "out of range",
+      // never wrap into a bogus rank count.
+      if (parse_int(token, &spec.ranks) == IntParse::OutOfRange)
+        out_of_range_token(token, name);
+      if (spec.ranks < 1) bad_token(token, name);
       want_dist_ranks = false;
       want_dist_strategy = true;
       continue;
@@ -298,6 +334,23 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
       if (spec.mixer != MixerType::X)
         throw std::invalid_argument(
             "make_simulator: the dist backend supports only the X mixer");
+      // The sharding math (countr_zero-derived slice sizes) is only
+      // meaningful for power-of-two rank counts that fit the state; reject
+      // anything else here, naming the value, instead of constructing a
+      // simulator with empty or overlapping shards.
+      if (spec.ranks < 1 ||
+          !std::has_single_bit(static_cast<unsigned>(spec.ranks)))
+        throw std::invalid_argument(
+            "make_simulator: dist ranks must be a power of two >= 1, got " +
+            std::to_string(spec.ranks));
+      if (terms.num_qubits() < 63 &&
+          static_cast<std::uint64_t>(spec.ranks) >
+              (std::uint64_t{1} << terms.num_qubits()))
+        throw std::invalid_argument(
+            "make_simulator: " + std::to_string(spec.ranks) +
+            " dist ranks exceed the 2^" + std::to_string(terms.num_qubits()) +
+            " amplitudes of a " + std::to_string(terms.num_qubits()) +
+            "-qubit problem");
       return std::make_unique<DistributedFurSimulator>(
           terms,
           DistConfig{.ranks = spec.ranks,

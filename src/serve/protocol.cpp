@@ -1,0 +1,241 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+namespace qokit::serve {
+namespace {
+
+/// Append-only byte sink for encoding.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <class T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t at = out_.size();
+    out_.resize(at + sizeof value);
+    std::memcpy(out_.data() + at, &value, sizeof value);
+  }
+
+  void put_bytes(const void* data, std::size_t size) {
+    const std::size_t at = out_.size();
+    out_.resize(at + size);
+    if (size != 0) std::memcpy(out_.data() + at, data, size);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked cursor for decoding; any read past the end throws.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <class T>
+  T get(const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, take(sizeof value, what), sizeof value);
+    return value;
+  }
+
+  const std::uint8_t* take(std::size_t size, const char* what) {
+    if (size > data_.size() - at_)
+      throw ProtocolError(std::string("serve: truncated frame payload (") +
+                          what + ")");
+    const std::uint8_t* p = data_.data() + at_;
+    at_ += size;
+    return p;
+  }
+
+  void expect_exhausted() const {
+    if (at_ != data_.size())
+      throw ProtocolError("serve: trailing bytes after frame payload");
+  }
+
+  std::size_t remaining() const { return data_.size() - at_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+};
+
+/// Read `count` f64s into `out` (resized). Zero-length reads skip the
+/// memcpy so empty vectors' null data() pointers stay UBSan-clean.
+void read_doubles(Reader& r, std::uint32_t count, std::vector<double>* out,
+                  const char* what) {
+  out->resize(count);
+  if (count != 0)
+    std::memcpy(out->data(), r.take(count * sizeof(double), what),
+                count * sizeof(double));
+}
+
+/// A count prefix can never promise more elements than the remaining bytes
+/// could hold; checking first keeps a corrupt count from reserving huge
+/// vectors before the per-element reads would catch it.
+std::uint32_t checked_count(Reader& r, std::size_t element_bytes,
+                            const char* what) {
+  const auto count = r.get<std::uint32_t>(what);
+  if (element_bytes != 0 && count > r.remaining() / element_bytes)
+    throw ProtocolError(std::string("serve: element count exceeds payload (") +
+                        what + ")");
+  return count;
+}
+
+void write_header(Writer& w, FrameType type, std::uint64_t payload_len) {
+  w.put(kFrameMagic);
+  w.put(kProtocolVersion);
+  w.put(static_cast<std::uint16_t>(type));
+  w.put(payload_len);
+}
+
+void patch_payload_len(std::vector<std::uint8_t>& frame) {
+  const std::uint64_t payload_len = frame.size() - kFrameHeaderBytes;
+  std::memcpy(frame.data() + 8, &payload_len, sizeof payload_len);
+}
+
+}  // namespace
+
+std::string_view to_string(Status status) {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Overloaded: return "overloaded";
+    case Status::BadRequest: return "bad_request";
+    case Status::ShuttingDown: return "shutting_down";
+    default: return "internal_error";
+  }
+}
+
+FrameHeader decode_frame_header(std::span<const std::uint8_t> header) {
+  if (header.size() < kFrameHeaderBytes)
+    throw ProtocolError("serve: short frame header");
+  Reader r(header.first(kFrameHeaderBytes));
+  if (r.get<std::uint32_t>("magic") != kFrameMagic)
+    throw ProtocolError("serve: bad frame magic");
+  if (r.get<std::uint16_t>("version") != kProtocolVersion)
+    throw ProtocolError("serve: unsupported protocol version");
+  const auto type = r.get<std::uint16_t>("type");
+  if (type != static_cast<std::uint16_t>(FrameType::Request) &&
+      type != static_cast<std::uint16_t>(FrameType::Response))
+    throw ProtocolError("serve: unknown frame type");
+  const auto payload_len = r.get<std::uint64_t>("payload length");
+  if (payload_len > kMaxFramePayload)
+    throw ProtocolError("serve: frame payload exceeds limit");
+  return FrameHeader{static_cast<FrameType>(type), payload_len};
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  write_header(w, FrameType::Request, 0);
+  w.put(static_cast<std::uint32_t>(request.terms.num_qubits()));
+  w.put(static_cast<std::uint32_t>(request.terms.size()));
+  for (const Term& t : request.terms) {
+    w.put(t.weight);
+    w.put(t.mask);
+  }
+  const std::string spec = request.spec.to_string();
+  w.put(static_cast<std::uint32_t>(spec.size()));
+  w.put_bytes(spec.data(), spec.size());
+  const std::uint8_t flags =
+      static_cast<std::uint8_t>((request.expectation ? 1u : 0u) |
+                                (request.overlap ? 2u : 0u));
+  w.put(flags);
+  w.put(static_cast<std::int32_t>(request.overlap_weight));
+  w.put(static_cast<std::uint32_t>(request.schedules.size()));
+  for (const QaoaParams& s : request.schedules) {
+    w.put(static_cast<std::uint32_t>(s.gammas.size()));
+    w.put_bytes(s.gammas.data(), s.gammas.size() * sizeof(double));
+    w.put_bytes(s.betas.data(), s.betas.size() * sizeof(double));
+  }
+  patch_payload_len(frame);
+  return frame;
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Request request;
+  const auto num_qubits = r.get<std::uint32_t>("num_qubits");
+  if (num_qubits > 63)
+    throw ProtocolError("serve: num_qubits exceeds 63");
+  const std::uint32_t num_terms = checked_count(r, 16, "terms");
+  std::vector<Term> terms(num_terms);
+  for (Term& t : terms) {
+    t.weight = r.get<double>("term weight");
+    t.mask = r.get<std::uint64_t>("term mask");
+  }
+  // TermList validates masks against num_qubits; report its rejection as a
+  // framing error (the frame encoded an impossible problem).
+  try {
+    request.terms = TermList(static_cast<int>(num_qubits), std::move(terms));
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("serve: invalid terms: ") + e.what());
+  }
+  const std::uint32_t spec_len = checked_count(r, 1, "spec string");
+  const std::uint8_t* spec_bytes = r.take(spec_len, "spec string");
+  // May throw std::invalid_argument: well-framed but semantically bad,
+  // mapped to Status::BadRequest by the server (connection stays open).
+  request.spec = SimulatorSpec::parse(std::string_view(
+      reinterpret_cast<const char*>(spec_bytes), spec_len));
+  const auto flags = r.get<std::uint8_t>("flags");
+  request.expectation = (flags & 1u) != 0;
+  request.overlap = (flags & 2u) != 0;
+  request.overlap_weight = r.get<std::int32_t>("overlap weight");
+  const std::uint32_t num_schedules = checked_count(r, 4, "schedules");
+  request.schedules.resize(num_schedules);
+  for (QaoaParams& s : request.schedules) {
+    const std::uint32_t p = checked_count(r, 16, "schedule depth");
+    read_doubles(r, p, &s.gammas, "gammas");
+    read_doubles(r, p, &s.betas, "betas");
+  }
+  r.expect_exhausted();
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  write_header(w, FrameType::Response, 0);
+  w.put(static_cast<std::uint32_t>(response.status));
+  w.put(static_cast<std::uint8_t>(response.cache_hit ? 1 : 0));
+  w.put(static_cast<std::uint32_t>(response.expectations.size()));
+  w.put_bytes(response.expectations.data(),
+              response.expectations.size() * sizeof(double));
+  w.put(static_cast<std::uint32_t>(response.overlaps.size()));
+  w.put_bytes(response.overlaps.data(),
+              response.overlaps.size() * sizeof(double));
+  w.put(static_cast<std::uint32_t>(response.error.size()));
+  w.put_bytes(response.error.data(), response.error.size());
+  w.put(response.queue_ns);
+  w.put(response.eval_ns);
+  patch_payload_len(frame);
+  return frame;
+}
+
+Response decode_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  Response response;
+  const auto status = r.get<std::uint32_t>("status");
+  if (status > static_cast<std::uint32_t>(Status::InternalError))
+    throw ProtocolError("serve: unknown response status");
+  response.status = static_cast<Status>(status);
+  response.cache_hit = r.get<std::uint8_t>("cache_hit") != 0;
+  const std::uint32_t num_expectations = checked_count(r, 8, "expectations");
+  read_doubles(r, num_expectations, &response.expectations, "expectations");
+  const std::uint32_t num_overlaps = checked_count(r, 8, "overlaps");
+  read_doubles(r, num_overlaps, &response.overlaps, "overlaps");
+  const std::uint32_t error_len = checked_count(r, 1, "error string");
+  const std::uint8_t* error_bytes = r.take(error_len, "error string");
+  response.error.assign(reinterpret_cast<const char*>(error_bytes),
+                        error_len);
+  response.queue_ns = r.get<std::uint64_t>("queue_ns");
+  response.eval_ns = r.get<std::uint64_t>("eval_ns");
+  r.expect_exhausted();
+  return response;
+}
+
+}  // namespace qokit::serve

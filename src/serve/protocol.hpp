@@ -1,0 +1,124 @@
+// Length-prefixed binary protocol for the schedule server.
+//
+// One frame = a 16-byte header (magic, version, type, payload length)
+// followed by the payload. Fields are fixed-width little-endian-on-x86
+// host byte order: the transport is a local AF_UNIX socket, both ends are
+// the same machine, and the payload is dominated by raw f64 schedules that
+// should cross the boundary as memcpys, not a text codec.
+//
+//   offset  size  field
+//        0     4  magic   0x51535256 ("QSRV" big-endian in a hex dump)
+//        4     2  version (kProtocolVersion; mismatch rejects the frame)
+//        6     2  type    (1 = request, 2 = response)
+//        8     8  payload length in bytes (<= kMaxFramePayload)
+//
+// Request payload layout (everything a (problem, schedule-batch) request
+// carries; see DESIGN.md "Serving" for the rationale):
+//
+//   u32 num_qubits
+//   u32 num_terms,   then per term:   f64 weight, u64 mask
+//   u32 spec_len,    then spec_len bytes of SimulatorSpec spelling
+//   u8  flags        (bit0 = expectation, bit1 = overlap)
+//   i32 overlap_weight
+//   u32 num_schedules, then per schedule:
+//       u32 p, p x f64 gammas, p x f64 betas
+//
+// Response payload layout:
+//
+//   u32 status (Status)
+//   u8  cache_hit
+//   u32 num_expectations, then f64 each
+//   u32 num_overlaps,     then f64 each
+//   u32 error_len,        then error_len bytes (empty when status == Ok)
+//   u64 queue_ns, u64 eval_ns
+//
+// Every decode is bounds-checked; any truncation, bad magic/version/type,
+// or length-limit violation throws ProtocolError (the server answers a
+// final error response and closes the connection, since the byte stream
+// can no longer be trusted to be frame-aligned). A well-framed request
+// whose CONTENT is invalid (unparseable spec, bad ranks) instead surfaces
+// as Status::BadRequest and the connection stays usable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "optimize/params.hpp"
+#include "terms/term.hpp"
+
+namespace qokit::serve {
+
+/// Outcome of one request, mirrored on the wire as a u32.
+enum class Status : std::uint32_t {
+  Ok = 0,
+  Overloaded = 1,    ///< work queue full; retry later (backpressure)
+  BadRequest = 2,    ///< well-framed but semantically invalid request
+  ShuttingDown = 3,  ///< server stopping; request was not evaluated
+  InternalError = 4,
+};
+
+std::string_view to_string(Status status);
+
+/// One (problem, schedule-batch) evaluation request.
+struct Request {
+  TermList terms;
+  SimulatorSpec spec{};
+  std::vector<QaoaParams> schedules;
+  bool expectation = true;
+  bool overlap = false;
+  int overlap_weight = -1;  ///< Hamming-weight sector; -1 = full space
+};
+
+/// Per-request reply. Result vectors are indexed like Request::schedules
+/// and empty when the corresponding flag was off (or status != Ok).
+struct Response {
+  Status status = Status::Ok;
+  bool cache_hit = false;  ///< session was resident; no precompute paid
+  std::vector<double> expectations;
+  std::vector<double> overlaps;
+  std::string error;  ///< empty when status == Ok
+  std::uint64_t queue_ns = 0;  ///< time spent queued before a worker
+  std::uint64_t eval_ns = 0;   ///< checkout + evaluation time
+};
+
+/// Framing violation: the byte stream is no longer trustworthy.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x51535256u;  // "QSRV"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Upper bound on one payload (frames above it are rejected unread, so a
+/// corrupt length prefix cannot make the server allocate gigabytes).
+inline constexpr std::uint64_t kMaxFramePayload = std::uint64_t{1} << 28;
+
+enum class FrameType : std::uint16_t { Request = 1, Response = 2 };
+
+/// Validated frame header.
+struct FrameHeader {
+  FrameType type = FrameType::Request;
+  std::uint64_t payload_len = 0;
+};
+
+/// Parse and validate a 16-byte header. Throws ProtocolError on bad
+/// magic/version/type or an over-limit payload length.
+FrameHeader decode_frame_header(std::span<const std::uint8_t> header);
+
+/// Serialize a complete frame (header + payload), ready to write.
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+/// Parse a frame payload. Throws ProtocolError on any bounds violation;
+/// decode_request additionally lets SimulatorSpec::parse's
+/// std::invalid_argument propagate (well-framed, semantically bad).
+Request decode_request(std::span<const std::uint8_t> payload);
+Response decode_response(std::span<const std::uint8_t> payload);
+
+}  // namespace qokit::serve

@@ -1,0 +1,90 @@
+// Bounded MPMC work queue for the schedule server.
+//
+// A serving front end must never let a burst of requests grow an unbounded
+// backlog: past `capacity` pending jobs the right answer is an immediate
+// Overloaded response, not a deeper queue (the client can retry or shed
+// load; the server keeps its latency distribution). try_push is therefore
+// the only producer entry point and never blocks -- on a full (or closed)
+// queue it leaves the item untouched in the caller's hands so the caller
+// can fail it. Consumers block in pop() until an item arrives; after
+// close(), pop() drains whatever is left and then returns nullopt, which
+// is the worker-thread exit signal.
+//
+// Implementation is a mutex + condition variable around a deque, not a
+// lock-free ring: the critical section is a few pointer moves, which is
+// noise next to the 2^n-amplitude evaluations each item triggers, and the
+// mutex keeps the queue trivially TSAN-clean (the tsan CI leg runs the
+// whole serve suite over it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace qokit::serve {
+
+template <class T>
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueue `item`, or return false (leaving `item` valid in the caller)
+  /// when the queue is full or closed. Never blocks.
+  bool try_push(T&& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeue the oldest item, blocking while the queue is open and empty.
+  /// Returns nullopt once the queue is closed AND drained -- the consumer
+  /// shutdown signal (pending items are still handed out after close()).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Reject all future pushes and wake every blocked consumer. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace qokit::serve

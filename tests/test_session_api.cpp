@@ -125,6 +125,41 @@ TEST(SimulatorSpec, RejectsUnknownTokensNamingThem) {
   }
 }
 
+TEST(SimulatorSpec, RejectsOutOfRangeIntegerTokens) {
+  // Integer tokens that overflow their type must throw -- never wrap or
+  // truncate into a silently different configuration. The message calls
+  // out the range problem and the offending token.
+  struct Case {
+    const char* name;
+    const char* offending;
+  };
+  for (const Case c :
+       {Case{"dist:99999999999999999999", "99999999999999999999"},
+        Case{"dist:ranks=99999999999999999999", "99999999999999999999"},
+        Case{"dist:ranks=2147483648", "2147483648"},  // INT_MAX + 1
+        Case{"auto:seed=18446744073709551616", "18446744073709551616"},
+        Case{"auto:mixer=xyring:weight=9999999999", "9999999999"}}) {
+    try {
+      (void)SimulatorSpec::parse(c.name);
+      FAIL() << "parse accepted '" << c.name << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("out of range"), std::string::npos)
+          << c.name << " -> " << what;
+      EXPECT_NE(what.find(c.offending), std::string::npos)
+          << c.name << " -> " << what;
+    }
+  }
+  // The extremes that DO fit still parse exactly.
+  EXPECT_EQ(SimulatorSpec::parse("auto:seed=18446744073709551615").sample_seed,
+            18446744073709551615ull);
+  EXPECT_EQ(SimulatorSpec::parse("dist:ranks=2147483647").ranks, 2147483647);
+  // And the canonical spelling of a max-seed spec round-trips.
+  const SimulatorSpec max_seed =
+      SimulatorSpec::parse("auto:seed=18446744073709551615");
+  EXPECT_EQ(SimulatorSpec::parse(max_seed.to_string()), max_seed);
+}
+
 TEST(SimulatorSpec, EveryEntryPointRejectsUnknownNames) {
   const Graph g = Graph::random_regular(6, 3, 1);
   const TermList terms = maxcut_terms(g);
@@ -166,6 +201,46 @@ TEST(MakeSimulator, EnforcesSemanticConstraints) {
   dist_xy.backend = Backend::Dist;
   dist_xy.mixer = MixerType::XYComplete;
   EXPECT_THROW((void)make_simulator(terms, dist_xy), std::invalid_argument);
+}
+
+TEST(MakeSimulator, ValidatesDistRankCounts) {
+  const TermList terms = labs_terms(6);
+  // Rank counts must be a power of two; the error names the value.
+  for (const int bad : {0, -4, 3, 6, 100}) {
+    SimulatorSpec spec;
+    spec.backend = Backend::Dist;
+    spec.ranks = bad;
+    try {
+      (void)make_simulator(terms, spec);
+      FAIL() << "make_simulator accepted ranks=" << bad;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("power of two"), std::string::npos) << what;
+      EXPECT_NE(what.find(std::to_string(bad)), std::string::npos) << what;
+    }
+  }
+  // ...and cannot exceed the 2^n amplitudes they would partition.
+  const TermList tiny = maxcut_terms(Graph::random_regular(4, 3, 1));
+  SimulatorSpec too_many;
+  too_many.backend = Backend::Dist;
+  too_many.ranks = 32;  // 2^5 ranks over a 2^4-amplitude problem
+  try {
+    (void)make_simulator(tiny, too_many);
+    FAIL() << "make_simulator accepted 32 ranks on 4 qubits";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("32"), std::string::npos) << what;
+    EXPECT_NE(what.find("exceed"), std::string::npos) << what;
+  }
+  // The largest count the backend supports here (it additionally needs
+  // n >= 2*log2 K for its transpose) still constructs fine.
+  EXPECT_EQ(make_simulator(tiny, [] {
+              SimulatorSpec s;
+              s.backend = Backend::Dist;
+              s.ranks = 4;
+              return s;
+            }())->num_qubits(),
+            4);
 }
 
 // ------------------------------------------------------------ session
