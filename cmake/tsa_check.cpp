@@ -1,0 +1,51 @@
+// Negative-compile fixture for the thread-safety analysis (see the
+// "Static analysis negative checks" section of CMakeLists.txt).
+//
+// Compiled twice at configure time on clang, with -Wthread-safety
+// -Werror both times:
+//
+//  - without QOKIT_SEED_VIOLATION it MUST compile: the positive control
+//    proving the fixture (and common/sync.hpp) is otherwise well-formed,
+//    so the negative result below can only mean the analysis fired;
+//  - with QOKIT_SEED_VIOLATION it MUST NOT compile: the seeded unguarded
+//    access of a GUARDED_BY member has to be rejected. If it compiles,
+//    the analysis has silently gone dark (attribute macros expanding to
+//    nothing under clang, a dropped flag, a broken wrapper) and the
+//    configure step fails loudly instead of shipping unproven locking.
+#include "common/sync.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) QOKIT_EXCLUDES(mu_) {
+    const qokit::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() QOKIT_EXCLUDES(mu_) {
+    const qokit::MutexLock lock(mu_);
+    return balance_;
+  }
+
+#ifdef QOKIT_SEED_VIOLATION
+  /// Unguarded write of a guarded member: -Wthread-safety must reject
+  /// this translation unit.
+  void corrupt(int amount) { balance_ += amount; }
+#endif
+
+ private:
+  qokit::Mutex mu_;
+  int balance_ QOKIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+#ifdef QOKIT_SEED_VIOLATION
+  account.corrupt(1);
+#endif
+  return account.balance() == 0 ? 1 : 0;
+}

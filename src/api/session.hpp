@@ -44,7 +44,10 @@ namespace detail {
 /// immediate std::logic_error instead (one uncontended atomic exchange on
 /// entry, a store on exit). Not a lock: the second caller fails, it never
 /// waits -- callers that want serialized access to one session go through
-/// serve::SessionCache, whose checkout hands out exclusive leases.
+/// serve::SessionCache, whose checkout hands out exclusive leases (an
+/// annotated qokit::Mutex protocol; see common/sync.hpp). Deliberately an
+/// atomic, not a capability: there is no blocking discipline here for the
+/// thread-safety analysis to prove, only a tripwire.
 class ReentrancyGuard {
  public:
   ReentrancyGuard() = default;

@@ -39,7 +39,9 @@ SimdLevel initial_level() noexcept {
 }
 
 // -1 = not yet initialized; otherwise a SimdLevel value. A relaxed atomic is
-// enough: initialization is idempotent (every racer computes the same level).
+// enough: initialization is idempotent (every racer computes the same level),
+// so this stays a lone atomic rather than a common/sync.hpp Mutex -- there
+// is no multi-member invariant for a capability to guard.
 std::atomic<int> g_active{-1};
 
 }  // namespace

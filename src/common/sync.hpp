@@ -1,0 +1,155 @@
+// Annotated synchronization primitives: the project's locking contracts,
+// made compiler-checkable.
+//
+// Every mutex and condition variable in src/ goes through the wrappers in
+// this header (enforced by tools/lint/qokit_lint.py; std::once_flag is the
+// one std primitive that stays raw -- it carries no discipline to check).
+// The wrappers carry Clang Thread Safety Analysis attributes, so a clang
+// build with -Wthread-safety -Werror (the CMake default for clang; see the
+// static-analysis CI leg) proves lock discipline on *all* paths -- not
+// just the ones the TSan leg happens to execute:
+//
+//  - a member declared QOKIT_GUARDED_BY(mu_) cannot be read or written
+//    without holding mu_,
+//  - a function declared QOKIT_REQUIRES(mu_) cannot be called without it,
+//  - a MutexLock cannot be leaked across a path that still needs the
+//    capability, or double-acquired.
+//
+// On GCC/MSVC the attributes expand to nothing and the wrappers are
+// zero-overhead shims over <mutex>/<condition_variable>; behavior is
+// identical on every compiler, only the static proof is clang-only.
+//
+// Idioms the analysis rewards (see DESIGN.md "Static analysis &
+// concurrency contracts" for the per-subsystem capability map):
+//
+//  - Guard with MutexLock, not manual lock()/unlock() pairs.
+//  - Spell condition-variable waits as explicit loops
+//        while (!predicate()) cv.wait(lock);
+//    (a predicate lambda hides the guarded reads from the analysis, so
+//    CondVar deliberately has no predicate overload).
+//  - Name helper functions that expect the lock `*_locked` and annotate
+//    them QOKIT_REQUIRES(mu_).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------- macros
+// Thin spellings of clang's thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), no-ops
+// elsewhere. QOKIT_TSA_* is the raw plumbing; use the named macros below.
+#if defined(__clang__) && defined(__has_attribute)
+#define QOKIT_TSA_HAS(x) __has_attribute(x)
+#else
+#define QOKIT_TSA_HAS(x) 0
+#endif
+
+#if QOKIT_TSA_HAS(capability)
+#define QOKIT_TSA(x) __attribute__((x))
+#else
+#define QOKIT_TSA(x)
+#endif
+
+/// A type whose instances can be held/released (clang tracks each one).
+#define QOKIT_CAPABILITY(name) QOKIT_TSA(capability(name))
+/// A RAII type that acquires at construction and releases at destruction.
+#define QOKIT_SCOPED_CAPABILITY QOKIT_TSA(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define QOKIT_GUARDED_BY(x) QOKIT_TSA(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define QOKIT_PT_GUARDED_BY(x) QOKIT_TSA(pt_guarded_by(x))
+/// Function that must be entered with the capability held (and leaves it
+/// held). The `*_locked` helper idiom.
+#define QOKIT_REQUIRES(...) QOKIT_TSA(requires_capability(__VA_ARGS__))
+/// Function that acquires the capability (caller must not hold it).
+#define QOKIT_ACQUIRE(...) QOKIT_TSA(acquire_capability(__VA_ARGS__))
+/// Function that releases the capability (caller must hold it).
+#define QOKIT_RELEASE(...) QOKIT_TSA(release_capability(__VA_ARGS__))
+/// Function that acquires the capability iff it returns `val`.
+#define QOKIT_TRY_ACQUIRE(val, ...) \
+  QOKIT_TSA(try_acquire_capability(val, __VA_ARGS__))
+/// Function that must be entered with the capability NOT held (deadlock
+/// guard for self-locking public entry points).
+#define QOKIT_EXCLUDES(...) QOKIT_TSA(locks_excluded(__VA_ARGS__))
+/// Declared lock-ordering edge: this capability is acquired after `x`.
+#define QOKIT_ACQUIRED_AFTER(...) QOKIT_TSA(acquired_after(__VA_ARGS__))
+/// Function returning a reference to the named capability.
+#define QOKIT_RETURN_CAPABILITY(x) QOKIT_TSA(lock_returned(x))
+/// Escape hatch -- every use needs a comment saying why the analysis
+/// cannot see the invariant that holds.
+#define QOKIT_NO_THREAD_SAFETY_ANALYSIS QOKIT_TSA(no_thread_safety_analysis)
+
+namespace qokit {
+
+class CondVar;
+class MutexLock;
+
+// ---------------------------------------------------------------- Mutex
+/// std::mutex carrying the "mutex" capability. Prefer MutexLock over the
+/// raw lock()/unlock() members; they exist for the rare manual protocol
+/// and for the analysis to model.
+class QOKIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QOKIT_ACQUIRE() { mu_.lock(); }
+  void unlock() QOKIT_RELEASE() { mu_.unlock(); }
+  bool try_lock() QOKIT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// ------------------------------------------------------------ MutexLock
+/// RAII guard over a Mutex: acquires at construction, releases at
+/// destruction. Relockable -- unlock()/lock() support the
+/// build-outside-the-lock pattern (serve::SessionCache::checkout) with the
+/// analysis tracking the held/released state across the gap. Replaces both
+/// std::lock_guard and std::unique_lock.
+class QOKIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QOKIT_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() QOKIT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release early (the guarded section ends before scope does).
+  void unlock() QOKIT_RELEASE() { lock_.unlock(); }
+  /// Re-acquire after unlock().
+  void lock() QOKIT_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// -------------------------------------------------------------- CondVar
+/// std::condition_variable bound to the annotated lock type. wait() takes
+/// the MutexLock (not the Mutex): the analysis keeps treating the
+/// capability as held across the wait, which matches the caller-visible
+/// contract -- the guarded predicate is only ever inspected under the
+/// lock. No predicate overload on purpose: spell waits as
+///     while (!predicate()) cv.wait(lock);
+/// so the predicate's guarded reads stay visible to the analysis (a
+/// lambda would hide them and trip -Wthread-safety).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `lock`, block, re-acquire before returning.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qokit

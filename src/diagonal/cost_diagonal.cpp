@@ -13,6 +13,11 @@
 namespace qokit {
 
 /// Derived-value cache: filled lazily, at most once per field group.
+/// std::once_flag is the one raw <mutex> primitive the project linter
+/// permits outside common/sync.hpp: call_once carries its own complete
+/// discipline (the callable runs exactly once, happens-before every
+/// return), so there is no lock protocol left for the thread-safety
+/// analysis to check.
 struct CostDiagonal::Cache {
   std::once_flag extrema_once;
   double min = 0.0;

@@ -22,7 +22,12 @@ namespace detail {
 /// Shared state of one world.run() invocation: the rendezvous barrier plus
 /// the exchange windows ranks publish into. Everything cross-thread is
 /// synchronized by the barrier (arrive_and_wait has acquire/release
-/// semantics), so the raw pointers need no atomics.
+/// semantics), so the raw pointers need no atomics. Deliberately
+/// mutex-free: there is nothing here for common/sync.hpp to wrap, and
+/// tools/lint/qokit_lint.py keeps it that way -- a future transport that
+/// needs a lock (MPI progress thread, socket send queue) must take an
+/// annotated qokit::Mutex so its discipline is compiler-checked from day
+/// one.
 struct WorldState {
   WorldState(int size, AlltoallStrategy strategy)
       : size(size),

@@ -46,7 +46,7 @@ void append_double(std::string& out, double v) {
 }
 
 /// Merged value of cell `c` under the registry lock.
-std::uint64_t merged(const Global& g, int cell) {
+std::uint64_t merged(const Global& g, int cell) QOKIT_REQUIRES(g.mu) {
   std::uint64_t total = g.retired[static_cast<std::size_t>(cell)];
   for (const Shard* s = g.shards; s; s = s->next)
     total += s->cells[static_cast<std::size_t>(cell)].load(
@@ -98,7 +98,7 @@ bool write_file(const std::string& path, const std::string& body) {
 Snapshot snapshot() {
   Global& g = detail::global();
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   for (const MetricDef& def : g.metrics) {
     switch (def.kind) {
       case MetricKind::Counter:
@@ -220,10 +220,10 @@ std::string trace_json() {
     out += '\n';
     append_trace_event(out, e);
   };
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   for (const TraceEvent& e : g.retired_events) emit(e);
   for (Shard* s = g.shards; s; s = s->next) {
-    std::lock_guard<std::mutex> elock(s->events_mu);
+    const MutexLock elock(s->events_mu);
     for (const TraceEvent& e : s->events) emit(e);
   }
   out += "\n]}\n";

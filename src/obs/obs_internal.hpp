@@ -4,11 +4,11 @@
 
 #include <array>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "obs/obs.hpp"
 
 namespace qokit::obs::detail {
@@ -41,11 +41,21 @@ struct TraceEvent {
 /// (relaxed atomics so scrapes may read concurrently) plus its trace
 /// buffer (guarded by a tiny mutex taken on span close and drain only —
 /// never by other threads' hot paths).
+///
+/// Lock order: Global::mu before events_mu, always. Cross-thread drains
+/// (export, reset, retire) walk the shard list under Global::mu and take
+/// each shard's events_mu nested inside it; the owning thread's span-close
+/// path takes events_mu alone and never touches Global::mu.
 struct Shard {
   std::array<std::atomic<std::uint64_t>, kMaxCells> cells{};
-  std::mutex events_mu;
-  std::vector<TraceEvent> events;
+  Mutex events_mu;
+  std::vector<TraceEvent> events QOKIT_GUARDED_BY(events_mu);
   int tid = 0;
+  /// Intrusive shard-list link. Guarded by Global::mu like the list head
+  /// it chains from (not annotated: clang's capability expressions cannot
+  /// name another struct's member from here; the head pointer
+  /// Global::shards carries the GUARDED_BY, and every traversal starts
+  /// there).
   Shard* next = nullptr;
 };
 
@@ -64,15 +74,19 @@ struct MetricDef {
 /// shards during program teardown, so the registry must outlive every
 /// static destructor.
 struct Global {
-  std::mutex mu;  ///< metric defs, shard list, retired accumulators
-  std::vector<MetricDef> metrics;
-  std::unordered_map<std::string, int> index;  ///< name -> metrics index
-  int next_cell = 0;
-  int next_gauge = 0;
+  Mutex mu;  ///< metric defs, shard list, retired accumulators
+  std::vector<MetricDef> metrics QOKIT_GUARDED_BY(mu);
+  /// name -> metrics index
+  std::unordered_map<std::string, int> index QOKIT_GUARDED_BY(mu);
+  int next_cell QOKIT_GUARDED_BY(mu) = 0;
+  int next_gauge QOKIT_GUARDED_BY(mu) = 0;
   std::array<std::atomic<std::uint64_t>, kMaxGauges> gauges{};  ///< bits
-  Shard* shards = nullptr;  ///< live shards, intrusive list
-  std::array<std::uint64_t, kMaxCells> retired{};  ///< dead threads' cells
-  std::vector<TraceEvent> retired_events;
+  /// Live shards, intrusive list (each link's events_mu nests inside mu;
+  /// see Shard).
+  Shard* shards QOKIT_GUARDED_BY(mu) = nullptr;
+  /// Dead threads' cells.
+  std::array<std::uint64_t, kMaxCells> retired QOKIT_GUARDED_BY(mu){};
+  std::vector<TraceEvent> retired_events QOKIT_GUARDED_BY(mu);
   std::atomic<int> next_tid{1};
   std::atomic<std::uint64_t> allocs{0};
   std::atomic<std::uint64_t> dropped{0};

@@ -45,20 +45,28 @@ namespace {
 
 void retire_shard(Shard* s) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  MutexLock lock(g.mu);
   for (int c = 0; c < kMaxCells; ++c) {
     const std::uint64_t v = s->cells[c].load(std::memory_order_relaxed);
     if (v != 0) g.retired[static_cast<std::size_t>(c)] += v;
   }
-  for (TraceEvent& e : s->events) {
-    if (g.retired_events.size() >=
-        static_cast<std::size_t>(kMaxRetainedEvents)) {
-      g.dropped.fetch_add(1, std::memory_order_relaxed);
-      continue;
+  {
+    // Only the exiting owner thread still appends to s->events, and it is
+    // the thread running this retire -- but the contract is "events under
+    // events_mu", and a concurrent scrape may be mid-drain on the list we
+    // are about to unlink from, so take the shard lock (nested inside
+    // g.mu, the documented order) rather than reason our way out of it.
+    const MutexLock elock(s->events_mu);
+    for (TraceEvent& e : s->events) {
+      if (g.retired_events.size() >=
+          static_cast<std::size_t>(kMaxRetainedEvents)) {
+        g.dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (g.retired_events.size() == g.retired_events.capacity())
+        g.allocs.fetch_add(1, std::memory_order_relaxed);
+      g.retired_events.push_back(e);
     }
-    if (g.retired_events.size() == g.retired_events.capacity())
-      g.allocs.fetch_add(1, std::memory_order_relaxed);
-    g.retired_events.push_back(e);
   }
   Shard** p = &g.shards;
   while (*p && *p != s) p = &(*p)->next;
@@ -84,7 +92,7 @@ Shard& my_shard() {
     Global& g = global();
     Shard* s = new Shard;
     s->tid = g.next_tid.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(g.mu);
+    const MutexLock lock(g.mu);
     s->next = g.shards;
     g.shards = s;
     g.allocs.fetch_add(1, std::memory_order_relaxed);
@@ -131,7 +139,7 @@ void histogram_record(int cell, const std::uint64_t* bounds, int n_bounds,
 std::uint64_t merged_cell(int cell) {
   if (cell < 0) return 0;
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   std::uint64_t total = g.retired[static_cast<std::size_t>(cell)];
   for (const Shard* s = g.shards; s; s = s->next)
     total += s->cells[static_cast<std::size_t>(cell)].load(
@@ -150,7 +158,7 @@ namespace {
 int register_metric(std::string_view name, MetricKind kind, int cells,
                     std::vector<std::uint64_t> bounds) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   const auto it = g.index.find(std::string(name));
   if (it != g.index.end()) {
     const MetricDef& def = g.metrics[static_cast<std::size_t>(it->second)];
@@ -199,15 +207,17 @@ void set_enabled(bool on) noexcept {
 Counter counter(std::string_view name) {
   using namespace detail;
   const int id = register_metric(name, MetricKind::Counter, 1, {});
-  std::lock_guard<std::mutex> lock(global().mu);
-  return Counter(global().metrics[static_cast<std::size_t>(id)].cell);
+  Global& g = global();
+  const MutexLock lock(g.mu);
+  return Counter(g.metrics[static_cast<std::size_t>(id)].cell);
 }
 
 Gauge gauge(std::string_view name) {
   using namespace detail;
   const int id = register_metric(name, MetricKind::Gauge, 0, {});
-  std::lock_guard<std::mutex> lock(global().mu);
-  return Gauge(global().metrics[static_cast<std::size_t>(id)].gauge_slot);
+  Global& g = global();
+  const MutexLock lock(g.mu);
+  return Gauge(g.metrics[static_cast<std::size_t>(id)].gauge_slot);
 }
 
 Histogram histogram(std::string_view name,
@@ -222,8 +232,9 @@ Histogram histogram(std::string_view name,
   const int cells = static_cast<int>(bounds.size()) + 2;  // +overflow +sum
   const int id =
       register_metric(name, MetricKind::Histogram, cells, std::move(bounds));
-  std::lock_guard<std::mutex> lock(global().mu);
-  const MetricDef& def = global().metrics[static_cast<std::size_t>(id)];
+  Global& g = global();
+  const MutexLock lock(g.mu);
+  const MetricDef& def = g.metrics[static_cast<std::size_t>(id)];
   // def.bounds' heap buffer is stable across metrics-vector growth (vector
   // moves preserve it), so the handle can point straight into it.
   return Histogram(def.cell, def.bounds.data(),
@@ -237,13 +248,13 @@ Histogram histogram(std::string_view name) {
 void reset() {
   using namespace detail;
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   g.retired.fill(0);
   g.retired_events.clear();
   for (auto& cell : g.gauges) cell.store(0, std::memory_order_relaxed);
   for (Shard* s = g.shards; s; s = s->next) {
     for (auto& cell : s->cells) cell.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> elock(s->events_mu);
+    const MutexLock elock(s->events_mu);
     s->events.clear();
   }
   g.dropped.store(0, std::memory_order_relaxed);

@@ -13,7 +13,7 @@ int& span_depth() noexcept {
 void push_event(const TraceEvent& event) noexcept {
   Global& g = global();
   Shard& s = my_shard();
-  std::lock_guard<std::mutex> lock(s.events_mu);
+  const MutexLock lock(s.events_mu);
   if (s.events.size() >= static_cast<std::size_t>(kMaxShardEvents)) {
     g.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -56,10 +56,10 @@ HistTimer::~HistTimer() {
 std::uint64_t trace_event_count() {
   using namespace detail;
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  const MutexLock lock(g.mu);
   std::uint64_t total = g.retired_events.size();
   for (Shard* s = g.shards; s; s = s->next) {
-    std::lock_guard<std::mutex> elock(s->events_mu);
+    const MutexLock elock(s->events_mu);
     total += s->events.size();
   }
   return total;

@@ -229,7 +229,7 @@ void ScheduleServer::accept_loop() {
       ::close(fd);
       return;
     }
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
   }
@@ -264,7 +264,7 @@ void ScheduleServer::connection_loop(int fd) {
   // Deregister before closing: once closed the fd number can be reused,
   // and shutdown() must never SHUT_RDWR someone else's descriptor.
   {
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
   }
@@ -278,7 +278,7 @@ void ScheduleServer::shutdown() {
   // queue drains.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   {
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (acceptor_.joinable()) acceptor_.join();
@@ -287,7 +287,7 @@ void ScheduleServer::shutdown() {
   for (;;) {
     std::vector<std::thread> conns;
     {
-      const std::lock_guard<std::mutex> lock(conn_mu_);
+      const MutexLock lock(conn_mu_);
       conns.swap(conn_threads_);
     }
     if (conns.empty()) break;

@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session_cache.hpp"
 #include "serve/work_queue.hpp"
@@ -103,12 +103,17 @@ class ScheduleServer {
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> workers_;
 
-  // Socket front end (idle when listen_path is empty).
+  // Socket front end (idle when listen_path is empty). conn_mu_ guards
+  // the connection registry: the open fds (so shutdown() can SHUT_RDWR
+  // exactly the descriptors still owned by connection threads -- see the
+  // deregister-before-close comment in connection_loop) and the
+  // connection threads themselves (swapped out and joined in batches by
+  // shutdown()).
   int listen_fd_ = -1;
   std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;           ///< open connections (for shutdown)
-  std::vector<std::thread> conn_threads_;
+  Mutex conn_mu_;
+  std::vector<int> conn_fds_ QOKIT_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ QOKIT_GUARDED_BY(conn_mu_);
 };
 
 /// Minimal blocking client for the socket front end (tests, the load

@@ -74,7 +74,7 @@ SessionLease SessionCache::checkout(const TermList& terms,
       obs::counter("qokit_serve_cache_misses_total");
 
   const std::uint64_t key = problem_key(terms, spec);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     auto it = entries_.find(key);
     if (it == entries_.end()) break;  // miss: fall through to build
@@ -140,7 +140,7 @@ SessionLease SessionCache::checkout(const TermList& terms,
 
 void SessionCache::check_in(std::uint64_t key) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.checked_out = false;
@@ -184,7 +184,7 @@ void SessionCache::publish_gauges_locked() const {
 }
 
 SessionCache::Stats SessionCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

@@ -27,14 +27,13 @@
 // observability enabled.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "api/session.hpp"
 #include "api/spec.hpp"
+#include "common/sync.hpp"
 #include "terms/term.hpp"
 
 namespace qokit::serve {
@@ -110,9 +109,10 @@ class SessionCache {
   /// on a miss (the build runs outside the cache lock). Blocks while
   /// another thread holds the same problem's lease. Build failures
   /// propagate (std::invalid_argument for bad specs) and leave no residue.
-  SessionLease checkout(const TermList& terms, const SimulatorSpec& spec);
+  SessionLease checkout(const TermList& terms, const SimulatorSpec& spec)
+      QOKIT_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const QOKIT_EXCLUDES(mu_);
 
   std::uint64_t byte_budget() const noexcept { return budget_; }
 
@@ -127,21 +127,26 @@ class SessionCache {
     bool building = false;
   };
 
-  void check_in(std::uint64_t key);
+  void check_in(std::uint64_t key) QOKIT_EXCLUDES(mu_);
   /// Evict idle LRU entries until bytes_ <= budget_ (or nothing idle is
-  /// left). Caller holds mu_.
-  void evict_lru_locked();
-  void publish_gauges_locked() const;
+  /// left).
+  void evict_lru_locked() QOKIT_REQUIRES(mu_);
+  void publish_gauges_locked() const QOKIT_REQUIRES(mu_);
 
   const std::uint64_t budget_;
-  mutable std::mutex mu_;
-  std::condition_variable returned_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t tick_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  // mu_ is the cache capability: the entry map, the footprint/LRU
+  // accounting, and the stats counters only change under it. The
+  // checkout/lease protocol (checked_out / building flags) is inspected
+  // and flipped exclusively inside these guarded members; the expensive
+  // session build itself runs with mu_ released (see checkout()).
+  mutable Mutex mu_;
+  CondVar returned_;
+  std::unordered_map<std::uint64_t, Entry> entries_ QOKIT_GUARDED_BY(mu_);
+  std::uint64_t bytes_ QOKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t tick_ QOKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ QOKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ QOKIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ QOKIT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qokit::serve

@@ -14,15 +14,19 @@
 // lock-free ring: the critical section is a few pointer moves, which is
 // noise next to the 2^n-amplitude evaluations each item triggers, and the
 // mutex keeps the queue trivially TSAN-clean (the tsan CI leg runs the
-// whole serve suite over it).
+// whole serve suite over it). The close/drain protocol -- closed_ and
+// items_ only change under mu_, pop() drains after close() -- is a
+// compile-time contract: both members are QOKIT_GUARDED_BY(mu_), so a
+// clang -Wthread-safety build rejects any path that touches them
+// unlocked.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.hpp"
 
 namespace qokit::serve {
 
@@ -36,9 +40,9 @@ class WorkQueue {
 
   /// Enqueue `item`, or return false (leaving `item` valid in the caller)
   /// when the queue is full or closed. Never blocks.
-  bool try_push(T&& item) {
+  bool try_push(T&& item) QOKIT_EXCLUDES(mu_) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -49,9 +53,9 @@ class WorkQueue {
   /// Dequeue the oldest item, blocking while the queue is open and empty.
   /// Returns nullopt once the queue is closed AND drained -- the consumer
   /// shutdown signal (pending items are still handed out after close()).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> pop() QOKIT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) ready_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -59,32 +63,32 @@ class WorkQueue {
   }
 
   /// Reject all future pushes and wake every blocked consumer. Idempotent.
-  void close() {
+  void close() QOKIT_EXCLUDES(mu_) {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
-  std::size_t depth() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t depth() const QOKIT_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return items_.size();
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
 
-  bool closed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const QOKIT_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar ready_;
+  std::deque<T> items_ QOKIT_GUARDED_BY(mu_);
+  bool closed_ QOKIT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qokit::serve

@@ -4,6 +4,12 @@
 // QOKIT_WERROR option (see CMakeLists.txt), so a missing transitive
 // include or a warning introduced in any public header fails the build
 // here even when the rest of the tree tolerates warnings.
+//
+// This file covers the umbrella plus a runtime touch of each layer; the
+// same self-containedness contract for EVERY header in src/*/ is
+// enforced by the generated `header_hygiene` object library (one
+// one-line -Werror TU per header, see CMakeLists.txt), which fails the
+// default build rather than this test binary.
 #include "api/qokit.hpp"  // must stay the first include
 
 #include <gtest/gtest.h>
