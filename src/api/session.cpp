@@ -135,6 +135,16 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
       layer_ns.push_back(elapsed_ns(tl));
       layer_hist.record(layer_ns.back());
     }
+  } else if (request.expectation) {
+    // Fused simulate+reduce: FurQaoaSimulator folds the expectation into
+    // the final layer's last pipeline pass (skipping one full read of the
+    // state); other backends run the two-pass default. Bit-identical to
+    // simulate_qaoa_from + get_expectation either way, and the evolved
+    // state stays in scratch_ for overlap/sampling below. The timed path
+    // keeps the explicit two-pass split so layer timings stay pure
+    // simulation.
+    out.expectation = sim_->simulate_qaoa_expectation(
+        scratch_, schedule.gammas, schedule.betas);
   } else {
     scratch_ = sim_->simulate_qaoa_from(std::move(scratch_), schedule.gammas,
                                         schedule.betas);
@@ -143,7 +153,7 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
   const steady::time_point t1 = steady::now();
   {
     obs::Span rspan("reduce");
-    if (request.expectation)
+    if (request.expectation && !out.expectation.has_value())
       out.expectation = sim_->get_expectation(scratch_);
     if (request.overlap)
       out.overlap = sim_->get_overlap(scratch_, request.overlap_weight);

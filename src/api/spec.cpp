@@ -9,6 +9,7 @@
 #include "dist/dist_fur.hpp"
 #include "gatesim/execute.hpp"
 #include "gatesim/simulator.hpp"
+#include "tune/profile.hpp"
 
 namespace qokit {
 namespace {
@@ -149,6 +150,20 @@ bool apply_option(std::string_view token, std::string_view name,
   } else if (key == "obs") {
     if (value == "on") spec->obs = true, ok = true;
     else if (value == "off") spec->obs = false, ok = true;
+  } else if (key == "tune") {
+    // Any value that is not a recognized mode is a profile file path
+    // ("off" is an alias for "static", mirroring QOKIT_TUNE=off).
+    if (value == "auto") {
+      spec->tune = TuneChoice::Auto, spec->tune_path.clear(), ok = true;
+    } else if (value == "static" || value == "off") {
+      spec->tune = TuneChoice::Static, spec->tune_path.clear(), ok = true;
+    } else if (value == "search") {
+      spec->tune = TuneChoice::Search, spec->tune_path.clear(), ok = true;
+    } else if (!value.empty()) {
+      spec->tune = TuneChoice::Path;
+      spec->tune_path = std::string(value);
+      ok = true;
+    }
   }
   if (!ok) bad_token(token, name);
   return true;
@@ -244,6 +259,9 @@ std::string SimulatorSpec::to_string() const {
                                                   : ":pipeline=off";
   if (sample_seed != 1) out += ":seed=" + std::to_string(sample_seed);
   if (obs) out += ":obs=on";
+  if (tune == TuneChoice::Static) out += ":tune=static";
+  else if (tune == TuneChoice::Search) out += ":tune=search";
+  else if (tune == TuneChoice::Path) out += ":tune=" + tune_path;
   return out;
 }
 
@@ -327,8 +345,28 @@ class GateSimAdapter final : public QaoaFastSimulatorBase {
 
 }  // namespace
 
+namespace {
+
+tune::TuneMode tune_mode_of(TuneChoice choice) {
+  switch (choice) {
+    case TuneChoice::Static: return tune::TuneMode::Static;
+    case TuneChoice::Search: return tune::TuneMode::Search;
+    case TuneChoice::Path: return tune::TuneMode::Path;
+    default: return tune::TuneMode::Auto;
+  }
+}
+
+}  // namespace
+
 std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
     const TermList& terms, const SimulatorSpec& spec) {
+  // One resolution per simulator: the profile's Geometry is injected into
+  // the pipeline options below; its process-global side effects (thread
+  // count, first-touch, obs gauges) are applied inside resolve_profile
+  // (cached, so repeat construction is cheap). Every profile is
+  // bit-identical to tune=static by the Geometry contract.
+  const tune::TuneProfile tuned =
+      tune::resolve_profile(tune_mode_of(spec.tune), spec.tune_path);
   switch (spec.backend) {
     case Backend::Dist:
       if (spec.mixer != MixerType::X)
@@ -355,7 +393,8 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
           terms,
           DistConfig{.ranks = spec.ranks,
                      .strategy = spec.alltoall,
-                     .pipeline = {.mode = spec.pipeline}});
+                     .pipeline = {.mode = spec.pipeline,
+                                  .geometry = tuned.geometry}});
     case Backend::Gatesim:
       return std::make_unique<GateSimAdapter>(terms, spec);
     default: {
@@ -364,6 +403,7 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
       cfg.mixer = spec.mixer;
       cfg.initial_weight = spec.initial_weight;
       cfg.pipeline.mode = spec.pipeline;
+      cfg.pipeline.geometry = tuned.geometry;
       if (spec.backend == Backend::U16) cfg.use_u16 = true;
       if (spec.backend == Backend::Fwht) {
         if (spec.mixer != MixerType::X)

@@ -46,6 +46,16 @@ enum class SimdChoice {
   Avx2,    ///< request AVX2 (clamped to scalar when unavailable)
 };
 
+/// How a spec engages the machine-adaptive subsystem (src/tune/). Every
+/// choice is bit-identical to every other — tuning changes traversal
+/// order and placement, never arithmetic.
+enum class TuneChoice {
+  Auto,    ///< follow QOKIT_TUNE / QOKIT_TUNE_PATH; default = heuristic
+  Static,  ///< pin the pre-tune defaults ("static"/"off"; the CI oracle)
+  Search,  ///< force the one-shot empirical micro-search
+  Path,    ///< load the profile file named by SimulatorSpec::tune_path
+};
+
 /// Typed construction-time configuration for every simulator backend.
 ///
 /// String grammar (SimulatorSpec::parse):
@@ -62,6 +72,7 @@ enum class SimdChoice {
 ///            | "seed="     <uint64>             (sampling seed)
 ///            | "pipeline=" ("auto" | "on" | "off")
 ///            | "obs="      ("on" | "off")
+///            | "tune="     ("auto" | "static" | "off" | "search" | <path>)
 ///
 /// Any other token throws std::invalid_argument naming the offending
 /// token -- no spelling silently falls back to a default simulator.
@@ -97,6 +108,18 @@ struct SimulatorSpec {
   /// environment chose untouched. Like simd=, this is process-global and
   /// sticky -- obs=on is never un-set by a later default-spec session.
   bool obs = false;
+  /// Machine-adaptive execution (src/tune/). make_simulator resolves the
+  /// effective TuneProfile (spec value first, then QOKIT_TUNE /
+  /// QOKIT_TUNE_PATH for Auto) and injects its pipeline Geometry into the
+  /// simulator; thread-count and NUMA side effects are process-global,
+  /// applied at resolution. "tune=off" parses as Static (and canonicalizes
+  /// to "tune=static"); any other unrecognized value is taken as a profile
+  /// file path (tune_path). Bit-identical across all choices by contract.
+  TuneChoice tune = TuneChoice::Auto;
+  /// Profile file for TuneChoice::Path (empty otherwise). Paths containing
+  /// ':' are not representable in the string grammar; build the spec
+  /// directly for those.
+  std::string tune_path;
 
   /// Parse a spelling per the grammar above. Throws std::invalid_argument
   /// naming the offending token on anything unrecognized.

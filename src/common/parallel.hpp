@@ -55,6 +55,15 @@ void parallel_for(Exec exec, std::int64_t begin, std::int64_t end, F&& f) {
 /// 16+ blocks to threads from n = 18 and elementwise passes from n = 17.
 inline constexpr std::int64_t kSimdBlock = 1 << 13;
 
+/// Block size of the *expectation* reductions (expectation_slice /
+/// expectation_u16). Smaller than kSimdBlock because these blocks are also
+/// the unit the pipeline's fused final-pass reduction emits: 2^10
+/// amplitudes divide every pipeline tile and strided chunk whose
+/// width_log2 >= 10, so the fused path can compute the identical per-block
+/// partials at the identical absolute offsets and sum them in the identical
+/// order — bit-exact agreement with the two-pass oracle by construction.
+inline constexpr std::int64_t kReduceBlock = 1 << 10;
+
 /// Apply `f(begin, end)` over consecutive blocks of `block` elements
 /// covering [0, count). The block decomposition is identical for Serial and
 /// Parallel execution, so a kernel that is deterministic per block yields

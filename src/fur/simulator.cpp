@@ -4,6 +4,7 @@
 
 #include "common/aligned.hpp"
 #include "common/bitops.hpp"
+#include "common/parallel.hpp"
 #include "diagonal/ops.hpp"
 #include "obs/obs.hpp"
 #include "pipeline/layer_exec.hpp"
@@ -13,6 +14,13 @@ namespace qokit {
 StateVector QaoaFastSimulatorBase::simulate_qaoa(
     std::span<const double> gammas, std::span<const double> betas) const {
   return simulate_qaoa_from(initial_state(), gammas, betas);
+}
+
+double QaoaFastSimulatorBase::simulate_qaoa_expectation(
+    StateVector& state, std::span<const double> gammas,
+    std::span<const double> betas) const {
+  state = simulate_qaoa_from(std::move(state), gammas, betas);
+  return get_expectation(state);
 }
 
 double QaoaFastSimulatorBase::get_expectation(const StateVector& result,
@@ -108,6 +116,61 @@ StateVector FurQaoaSimulator::simulate_qaoa_from(
     apply_mixer(state, cfg_.mixer, betas[l], cfg_.exec, cfg_.backend);
   }
   return state;
+}
+
+double FurQaoaSimulator::simulate_qaoa_expectation(
+    StateVector& state, std::span<const double> gammas,
+    std::span<const double> betas) const {
+  if (gammas.size() != betas.size())
+    throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
+  if (state.num_qubits() != num_qubits())
+    throw std::invalid_argument("simulate_qaoa: state size mismatch");
+  if (gammas.empty() || !plan_.active() ||
+      !pipeline::can_fuse_expectation(plan_, state.size())) {
+    // Two-pass oracle: unfused backends, tiny states, empty schedules.
+    state = simulate_qaoa_from(std::move(state), gammas, betas);
+    return get_expectation(state);
+  }
+  obs::Span span("simulate_expectation");
+  span.attr("n", num_qubits());
+  span.attr("p", static_cast<std::int64_t>(gammas.size()));
+  pipeline::ExpectationCtx red;
+  if (cfg_.use_u16) {
+    red.codes = diag16_.codes();
+    red.offset = diag16_.offset();
+    red.scale = diag16_.scale();
+  } else {
+    red.costs = diag_.data();
+  }
+  thread_local aligned_vector<double> partials;
+  partials.assign(state.size() / static_cast<std::uint64_t>(kReduceBlock),
+                  0.0);
+  thread_local aligned_vector<cdouble> lut;  // u16 per-gamma factors
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    pipeline::PhaseCtx ctx;
+    if (cfg_.use_u16) {
+      diag16_.phase_table_into(gammas[l], lut);
+      ctx.codes = diag16_.codes();
+      ctx.table = lut.data();
+    } else {
+      ctx.costs = diag_.data();
+    }
+    if (l + 1 < gammas.size()) {
+      pipeline::run_layer(plan_, state.data(), state.size(), ctx, gammas[l],
+                          betas[l], cfg_.exec);
+    } else {
+      // Final layer: the reduction rides the last pass's write-back, so
+      // the separate full-state expectation sweep never happens.
+      pipeline::run_layer_expectation(plan_, state.data(), state.size(),
+                                      ctx, gammas[l], betas[l], cfg_.exec,
+                                      red, partials.data());
+    }
+  }
+  // Sequential sum in block-index order: parallel_reduce_blocks'
+  // combination order, hence bit-identical to get_expectation(state).
+  double acc = 0.0;
+  for (const double p : partials) acc += p;
+  return acc;
 }
 
 double FurQaoaSimulator::get_expectation(const StateVector& result) const {

@@ -63,6 +63,19 @@ class QaoaFastSimulatorBase {
   /// <result|C|result> using the precomputed diagonal.
   virtual double get_expectation(const StateVector& result) const = 0;
 
+  /// Evolve `state` through the schedule (in place, like
+  /// simulate_qaoa_from) and return <C> of the result in one call. The
+  /// base implementation is the two-pass path: simulate, then
+  /// get_expectation. FurQaoaSimulator overrides it to fuse the
+  /// reduction into the final layer's last pipeline pass, skipping one
+  /// full read of the state — bit-identical to the two-pass path by the
+  /// kReduceBlock alignment argument (pipeline/layer_exec.hpp). The
+  /// evolved state is left in `state` either way, so overlap/sampling
+  /// can still consume it.
+  virtual double simulate_qaoa_expectation(
+      StateVector& state, std::span<const double> gammas,
+      std::span<const double> betas) const;
+
   /// Expectation against a caller-supplied cost vector (QOKit's optional
   /// `costs` argument).
   double get_expectation(const StateVector& result,
@@ -116,6 +129,10 @@ class FurQaoaSimulator final : public QaoaFastSimulatorBase {
   using QaoaFastSimulatorBase::get_expectation;  // keep the costs overloads
   using QaoaFastSimulatorBase::get_overlap;
   double get_expectation(const StateVector& result) const override;
+  double simulate_qaoa_expectation(StateVector& state,
+                                   std::span<const double> gammas,
+                                   std::span<const double> betas)
+      const override;
   double get_overlap(const StateVector& result,
                      int restrict_weight = -1) const override;
   const CostDiagonal& get_cost_diagonal() const override { return diag_; }

@@ -64,6 +64,26 @@ void for_units(Exec exec, std::int64_t units, std::int64_t unit_amps, F&& f) {
   for (std::int64_t u = 0; u < units; ++u) f(u);
 }
 
+/// Fused expectation partials for one unit's contiguous piece
+/// [base, base+count): one k.expectation / k.expectation_u16 call per
+/// absolute kReduceBlock sub-block, written to partials[abs / block].
+/// base and count are whole multiples of kReduceBlock (guaranteed by
+/// can_fuse_expectation), so these are exactly the calls the two-pass
+/// expectation dispatch makes for the same sub-range — same pointers,
+/// same lengths, same kernel family.
+void reduce_piece(const Kernels& k, const cdouble* amp,
+                  const ExpectationCtx& red, std::uint64_t base,
+                  std::uint64_t count, double* partials) {
+  const auto block = static_cast<std::uint64_t>(kReduceBlock);
+  for (std::uint64_t off = 0; off < count; off += block) {
+    const std::uint64_t i = base + off;
+    partials[i / block] =
+        red.codes ? k.expectation_u16(amp + i, red.codes + i, red.offset,
+                                      red.scale, block)
+                  : k.expectation(amp + i, red.costs + i, block);
+  }
+}
+
 /// The diagonal phase on amp[base, base+count), double or u16 path.
 void phase_unit(const Kernels& k, cdouble* amp, const PhaseCtx& ctx,
                 std::uint64_t base, std::uint64_t count, double gamma) {
@@ -89,7 +109,9 @@ void butterfly_tile(const Kernels& k, cdouble* amp, std::uint64_t base,
 
 void run_tile_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
                    std::uint64_t n_amps, const PhaseCtx& ctx, double gamma,
-                   const cdouble* pop_table, double c, double s, Exec exec) {
+                   const cdouble* pop_table, double c, double s, Exec exec,
+                   const ExpectationCtx* red = nullptr,
+                   double* partials = nullptr) {
   const std::uint64_t tile =
       std::min<std::uint64_t>(n_amps, 1ull << p.width_log2);
   const std::int64_t units = static_cast<std::int64_t>(n_amps / tile);
@@ -114,12 +136,16 @@ void run_tile_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
                 butterfly_tile(k, amp, base, tile, q, p.butterfly, c, s);
               if (p.post == PassPhase::Popcount)
                 k.phase_popcount(amp + base, base, tile, pop_table);
+              if (red)
+                reduce_piece(k, amp, *red, base, tile, partials);
             });
 }
 
 void run_strided_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
                       std::uint64_t n_amps, const cdouble* pop_table,
-                      double c, double s, Exec exec) {
+                      double c, double s, Exec exec,
+                      const ExpectationCtx* red = nullptr,
+                      double* partials = nullptr) {
   const int a = p.q_begin;
   const int b = p.q_end;
   const std::uint64_t chunk = 1ull << p.width_log2;  // width_log2 <= a
@@ -153,13 +179,24 @@ void run_strided_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
             const std::uint64_t i0 = blk + r * row + col;
             k.phase_popcount(amp + i0, i0, chunk, pop_table);
           }
+        if (red)
+          // Each row's chunk starts at blk + r*row + col — a multiple of
+          // the chunk length (col is a whole chunk multiple, row and blk
+          // are larger powers of two), so kReduceBlock sub-blocks nest
+          // exactly.
+          for (std::uint64_t r = 0; r < rows; ++r)
+            reduce_piece(k, amp, *red, blk + r * row + col, chunk,
+                         partials);
       });
 }
 
-}  // namespace
-
-void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
-               const PhaseCtx& phase, double gamma, double beta, Exec exec) {
+/// Shared body of run_layer / run_layer_expectation. When `red` is set the
+/// FINAL pass also reduces each unit into `partials` (see the header's
+/// determinism argument).
+void run_layer_impl(const LayerPlan& plan, cdouble* amp,
+                    std::uint64_t n_amps, const PhaseCtx& phase,
+                    double gamma, double beta, Exec exec,
+                    const ExpectationCtx* red, double* partials) {
   if (!plan.active())
     throw std::logic_error("pipeline::run_layer: plan is not active: " +
                            plan.fallback_reason());
@@ -180,19 +217,66 @@ void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
   obs::Span span("pipeline_layer");
   span.attr("n", plan.num_qubits());
   span.attr("passes", static_cast<std::int64_t>(plan.passes().size()));
+  const LayerPass* last = plan.passes().empty() ? nullptr
+                                                : &plan.passes().back();
   for (const LayerPass& p : plan.passes()) {
+    const ExpectationCtx* pass_red = (red && &p == last) ? red : nullptr;
     obs::Span pspan(p.strided ? "strided_pass" : "tile_pass");
     pspan.attr("q_begin", p.q_begin);
     pspan.attr("q_end", p.q_end);
     pspan.attr("width_log2", p.width_log2);
     if (p.strided) {
       strided_pass_counter().add();
-      run_strided_pass(k, p, amp, n_amps, pop_table, c, s, exec);
+      run_strided_pass(k, p, amp, n_amps, pop_table, c, s, exec, pass_red,
+                       partials);
     } else {
       tile_pass_counter().add();
-      run_tile_pass(k, p, amp, n_amps, phase, gamma, pop_table, c, s, exec);
+      run_tile_pass(k, p, amp, n_amps, phase, gamma, pop_table, c, s, exec,
+                    pass_red, partials);
     }
   }
+}
+
+}  // namespace
+
+void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               const PhaseCtx& phase, double gamma, double beta, Exec exec) {
+  run_layer_impl(plan, amp, n_amps, phase, gamma, beta, exec, nullptr,
+                 nullptr);
+}
+
+bool can_fuse_expectation(const LayerPlan& plan, std::uint64_t n_amps) {
+  if (!plan.active() || plan.passes().empty()) return false;
+  if (n_amps < static_cast<std::uint64_t>(kReduceBlock)) return false;
+  const LayerPass& last = plan.passes().back();
+  // The final pass's unit width must hold whole kReduceBlocks so fused
+  // partial blocks align with the two-pass decomposition; a trailing
+  // elementwise multiply would have to run before the reduction read,
+  // which no current plan shape produces (Fwht's Popcount lands on the
+  // middle pass) — checked anyway so new plan shapes fail safe.
+  if ((std::uint64_t{1} << last.width_log2) <
+      static_cast<std::uint64_t>(kReduceBlock))
+    return false;
+  return last.post == PassPhase::None;
+}
+
+void run_layer_expectation(const LayerPlan& plan, cdouble* amp,
+                           std::uint64_t n_amps, const PhaseCtx& phase,
+                           double gamma, double beta, Exec exec,
+                           const ExpectationCtx& reduce, double* partials) {
+  if (!can_fuse_expectation(plan, n_amps))
+    throw std::logic_error(
+        "pipeline::run_layer_expectation: plan cannot carry a fused "
+        "expectation (see can_fuse_expectation)");
+  if (!reduce.costs && !reduce.codes)
+    throw std::invalid_argument(
+        "pipeline::run_layer_expectation: ExpectationCtx needs costs or "
+        "codes");
+  static const obs::Counter fused_reductions =
+      obs::counter("qokit_pipeline_fused_reductions_total");
+  fused_reductions.add();
+  run_layer_impl(plan, amp, n_amps, phase, gamma, beta, exec, &reduce,
+                 partials);
 }
 
 void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,

@@ -37,6 +37,42 @@ struct PhaseCtx {
 void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
                const PhaseCtx& phase, double gamma, double beta, Exec exec);
 
+/// Cost source for the fused expectation reduction (run_layer_expectation).
+/// Exactly one of `costs` (double diagonal) or `codes` (+ offset/scale,
+/// the u16 codec) must be set — mirroring the expectation_slice /
+/// expectation_u16 dispatch pair.
+struct ExpectationCtx {
+  const double* costs = nullptr;
+  const std::uint16_t* codes = nullptr;
+  double offset = 0.0;
+  double scale = 0.0;
+};
+
+/// True when a plan's FINAL pass can carry the expectation reduction:
+/// the plan is active and non-empty, the array holds at least one
+/// kReduceBlock, the final pass's unit width is a whole number of
+/// kReduceBlocks (so the fused partial blocks land at exactly the
+/// absolute offsets the two-pass expectation_slice uses), and the final
+/// pass has no trailing elementwise multiply (a post-phase would run
+/// after the reduction read). With the default Geometry every Fused and
+/// Fwht plan for n >= 10 qualifies.
+bool can_fuse_expectation(const LayerPlan& plan, std::uint64_t n_amps);
+
+/// run_layer, plus: after each unit of the FINAL pass finishes its
+/// butterflies, reduce that unit's amplitudes against `reduce` in
+/// kReduceBlock sub-blocks, writing partials[abs_index / kReduceBlock].
+/// Partial slots are disjoint across units (units partition the array),
+/// so the fill is race-free under any Exec; the caller sums
+/// partials[0, n_amps / kReduceBlock) sequentially in index order, which
+/// reproduces parallel_reduce_blocks' combination order — making
+/// fused-expectation results bit-identical to running run_layer followed
+/// by expectation_slice / expectation_u16. Requires
+/// can_fuse_expectation(plan, n_amps).
+void run_layer_expectation(const LayerPlan& plan, cdouble* amp,
+                           std::uint64_t n_amps, const PhaseCtx& phase,
+                           double gamma, double beta, Exec exec,
+                           const ExpectationCtx& reduce, double* partials);
+
 /// Execute a butterfly-only plan (LayerPlan::build_rx_sweep) over
 /// `amp[0, n_amps)` with c = cos(beta), s = sin(beta). The distributed
 /// simulator runs its prebuilt sweep plan on the alltoall-reordered slice

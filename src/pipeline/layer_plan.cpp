@@ -24,7 +24,7 @@ namespace {
 // butterfly pair ranges even-aligned) and never exceed that qubit's
 // stride, so a chunk cannot cross a row boundary.
 int clamped_tile(const PipelineOptions& opts) {
-  return std::clamp(opts.tile_log2, 2, 30);
+  return std::clamp(opts.geometry.tile_log2, 2, 30);
 }
 
 LayerPass make_tile_pass(int q_end, PassButterfly butterfly, PassPhase pre,
@@ -47,8 +47,8 @@ LayerPass make_strided_pass(int q_begin, int q_end, PassButterfly butterfly,
       .butterfly = butterfly,
       .pre = PassPhase::None,
       .post = PassPhase::None,
-      .width_log2 =
-          std::clamp(opts.chunk_log2, std::min(2, q_begin), q_begin)};
+      .width_log2 = std::clamp(opts.geometry.chunk_log2,
+                               std::min(2, q_begin), q_begin)};
 }
 
 }  // namespace
@@ -78,7 +78,7 @@ LayerPlan LayerPlan::build(int num_qubits, MixerType mixer,
     return plan;
   }
 
-  const int g = std::max(1, opts.group_qubits);
+  const int g = std::max(1, opts.geometry.group_qubits);
   const int m = std::min(num_qubits, clamped_tile(opts));
 
   const auto add_tile = [&](PassButterfly butterfly, PassPhase pre) {
@@ -115,7 +115,7 @@ LayerPlan LayerPlan::build_rx_sweep(int num_qubits, int q_begin, int q_end,
   LayerPlan plan;
   plan.n_ = num_qubits;
   plan.opts_ = opts;
-  const int g = std::max(1, opts.group_qubits);
+  const int g = std::max(1, opts.geometry.group_qubits);
   int q0 = q_begin;
   if (q0 == 0 && q0 < q_end) {
     // Qubit 0 (and everything with in-tile stride) goes through a

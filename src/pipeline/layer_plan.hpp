@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "fur/mixers.hpp"
+#include "pipeline/geometry.hpp"
 
 namespace qokit::pipeline {
 
@@ -40,25 +41,13 @@ namespace qokit::pipeline {
 /// the environment; Off forces the unfused oracle path.
 enum class PipelineMode { Auto, On, Off };
 
-/// Tile of 2^16 amplitudes = 1 MiB of state: resident in any recent L2
-/// alongside the 512 KiB cost slice the fused phase multiply streams.
-inline constexpr int kDefaultTileLog2 = 16;
-/// High qubits advanced per strided pass. With the default chunk this
-/// bounds a pass working set to 2^6 rows x 16 KiB = 1 MiB.
-inline constexpr int kDefaultGroupQubits = 6;
-/// log2 of the contiguous chunk (in amplitudes) gathered per row of a
-/// strided pass: 2^10 amplitudes = 16 KiB, long enough for the streaming
-/// prefetchers, small enough that 2^g rows stay cache-resident.
-inline constexpr int kDefaultChunkLog2 = 10;
-
 /// Construction-time tiling knobs, carried by FurConfig / DistConfig and
-/// (mode only) by SimulatorSpec. The defaults are safe for any n; tests
-/// shrink them to exercise tile-boundary edge cases on small states.
+/// (mode only) by SimulatorSpec. The geometry defaults are safe for any n
+/// (src/tune/ swaps in machine-derived values through make_simulator);
+/// tests shrink them to exercise tile-boundary edge cases on small states.
 struct PipelineOptions {
   PipelineMode mode = PipelineMode::Auto;
-  int tile_log2 = kDefaultTileLog2;
-  int group_qubits = kDefaultGroupQubits;
-  int chunk_log2 = kDefaultChunkLog2;
+  Geometry geometry = Geometry::defaults();
 
   friend bool operator==(const PipelineOptions&, const PipelineOptions&) =
       default;

@@ -3,7 +3,9 @@
 #include <limits>
 #include <utility>
 
+#include "fur/simulator.hpp"
 #include "obs/obs.hpp"
+#include "pipeline/layer_plan.hpp"
 
 namespace qokit::serve {
 namespace {
@@ -47,6 +49,22 @@ std::uint64_t session_footprint_bytes(int num_qubits,
   // scalar scratch, one batch-pool slot), plus the terms and a fixed
   // allowance for the plan/object headers.
   return dim * (8 + 3 * 16) + num_terms * sizeof(Term) + 4096;
+}
+
+std::uint64_t session_footprint_bytes(const api::ProblemSession& session) {
+  const int n = session.terms().num_qubits();
+  std::uint64_t bytes = session_footprint_bytes(n, session.terms().size());
+  if (const auto* fur =
+          dynamic_cast<const FurQaoaSimulator*>(&session.simulator())) {
+    bytes += fur->layer_plan().passes().size() * sizeof(pipeline::LayerPass);
+    if (fur->config().use_u16) {
+      const std::uint64_t dim = std::uint64_t{1} << n;
+      // uint16 code per amplitude, plus the 65536-entry complex-f64
+      // phase-factor table rebuilt per gamma.
+      bytes += dim * 2 + std::uint64_t{65536} * sizeof(cdouble);
+    }
+  }
+  return bytes;
 }
 
 SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
@@ -125,7 +143,7 @@ SessionLease SessionCache::checkout(const TermList& terms,
   lock.lock();
   Entry& entry = entries_[key];  // re-find: the map may have rehashed
   entry.session = std::move(built);
-  entry.bytes = session_footprint_bytes(terms.num_qubits(), terms.size());
+  entry.bytes = session_footprint_bytes(*entry.session);
   entry.building = false;
   bytes_ += entry.bytes;
   evict_lru_locked();

@@ -52,6 +52,15 @@ std::uint64_t problem_key(const TermList& terms, const SimulatorSpec& spec);
 /// behave.
 std::uint64_t session_footprint_bytes(int num_qubits, std::size_t num_terms);
 
+/// Footprint of a *built* session: the (n, terms) estimate above plus the
+/// buffers only a live session reveals — the LayerPlan's pass schedule
+/// and, for u16-diagonal specs, the uint16 code array and the per-gamma
+/// 65536-entry phase-factor table. The cache charges this overload after
+/// a build so the LRU budget sees what the session actually holds (the
+/// two-argument estimate undercounted u16 sessions by ~dim*2 bytes,
+/// deferring evictions past the configured budget).
+std::uint64_t session_footprint_bytes(const api::ProblemSession& session);
+
 class SessionCache;
 
 /// Exclusive handle on one cached ProblemSession. While live, no other

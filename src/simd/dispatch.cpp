@@ -102,8 +102,10 @@ double expectation_slice(const cdouble* amp, const double* costs,
                          std::uint64_t count, Exec exec) {
   count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
+  // kReduceBlock (not kSimdBlock): the same decomposition the pipeline's
+  // fused final-pass reduction reproduces — see parallel.hpp.
   return parallel_reduce_blocks(
-      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      exec, static_cast<std::int64_t>(count), kReduceBlock,
       [&](std::int64_t b, std::int64_t e) {
         return k.expectation(amp + b, costs + b,
                              static_cast<std::uint64_t>(e - b));
@@ -116,7 +118,7 @@ double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
   count_kernel_call();
   const detail::Kernels& k = detail::active_kernels();
   return parallel_reduce_blocks(
-      exec, static_cast<std::int64_t>(count), kSimdBlock,
+      exec, static_cast<std::int64_t>(count), kReduceBlock,
       [&](std::int64_t b, std::int64_t e) {
         return k.expectation_u16(amp + b, codes + b, offset, scale,
                                  static_cast<std::uint64_t>(e - b));

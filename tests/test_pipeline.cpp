@@ -100,9 +100,7 @@ void expect_tiling_identical(int n, int tile_log2, int group_qubits,
   fused.use_u16 = use_u16;
   fused.backend = backend;
   fused.pipeline = {.mode = pipeline::PipelineMode::On,
-                    .tile_log2 = tile_log2,
-                    .group_qubits = group_qubits,
-                    .chunk_log2 = chunk_log2};
+                    .geometry = {tile_log2, group_qubits, chunk_log2}};
   FurConfig oracle = fused;
   oracle.pipeline.mode = pipeline::PipelineMode::Off;
   const FurQaoaSimulator a(terms, fused);
@@ -163,8 +161,8 @@ TEST(LayerPlan, PassCountMathMatchesTheTilingFormula) {
     const auto plan = pipeline::LayerPlan::build(
         n, MixerType::X, MixerBackend::Fused, opts);
     ASSERT_TRUE(plan.active());
-    const int t = opts.tile_log2;
-    const int g = opts.group_qubits;
+    const int t = opts.geometry.tile_log2;
+    const int g = opts.geometry.group_qubits;
     const int expected =
         1 + (n > t ? (n - t + g - 1) / g : 0);  // 1 + ceil((n - t)/g)
     EXPECT_EQ(plan.full_sweeps(), expected) << "n=" << n;
@@ -318,6 +316,64 @@ TEST(PipelineSession, SessionsReuseOnePlanAndReportLayerTimings) {
   ragged.betas = {0.3};
   EXPECT_THROW(session.evaluate(ragged, request), std::invalid_argument);
   EXPECT_THROW(session.evaluate(ragged), std::invalid_argument);
+}
+
+// ------------------------------------------------- fused expectation
+
+TEST(PipelineFusedExpectation, UntimedSessionMatchesTheTwoPassOracle) {
+  // n = 11: 2^11 amplitudes is wide enough for the fused final-pass
+  // reduction (can_fuse_expectation needs the last pass to cover at
+  // least one kReduceBlock). The untimed evaluate() takes the fused
+  // simulate+reduce route; the timed one keeps the explicit two-pass
+  // split so layer timings stay pure simulation. Expectation AND the
+  // post-evolution reductions (overlap here) must agree bitwise.
+  const QaoaParams sched = test_schedule();
+  SimdLevelGuard guard;
+  for (const SimdLevel level : {SimdLevel::Scalar, detect_simd_level()}) {
+    force_simd_level(level);
+    for (const char* name :
+         {"auto", "serial", "threaded", "u16", "fwht", "u16:exec=serial"}) {
+      const TermList terms = sk_terms(11, 9);
+      const api::ProblemSession session(terms, SimulatorSpec::parse(name));
+      const auto* fur =
+          dynamic_cast<const FurQaoaSimulator*>(&session.simulator());
+      ASSERT_NE(fur, nullptr) << name;
+      ASSERT_TRUE(fur->layer_plan().active()) << name;
+      // The setup must actually engage the fused reduction, or this test
+      // would compare two-pass against itself.
+      ASSERT_TRUE(pipeline::can_fuse_expectation(fur->layer_plan(),
+                                                 std::uint64_t{1} << 11))
+          << name;
+      api::EvalRequest fused_req;
+      fused_req.overlap = true;  // expectation defaults to true
+      const api::EvalResult fused = session.evaluate(sched, fused_req);
+      api::EvalRequest two_pass_req = fused_req;
+      two_pass_req.timings = true;
+      const api::EvalResult two_pass = session.evaluate(sched, two_pass_req);
+      ASSERT_TRUE(fused.expectation.has_value()) << name;
+      ASSERT_TRUE(two_pass.expectation.has_value()) << name;
+      EXPECT_EQ(*fused.expectation, *two_pass.expectation) << name;
+      ASSERT_TRUE(fused.overlap.has_value()) << name;
+      EXPECT_EQ(*fused.overlap, *two_pass.overlap) << name;
+    }
+  }
+}
+
+TEST(PipelineFusedExpectation, SmallStatesFallBackToTwoPass) {
+  // Below one reduce block the fused route must decline (and the
+  // simulator silently run the two-pass default).
+  const TermList terms = sk_terms(8, 9);
+  const api::ProblemSession session(terms, SimulatorSpec::parse("auto"));
+  const auto* fur =
+      dynamic_cast<const FurQaoaSimulator*>(&session.simulator());
+  ASSERT_NE(fur, nullptr);
+  EXPECT_FALSE(pipeline::can_fuse_expectation(fur->layer_plan(),
+                                              std::uint64_t{1} << 8));
+  const QaoaParams sched = test_schedule();
+  api::EvalRequest timed;
+  timed.timings = true;
+  EXPECT_EQ(session.evaluate(sched).expectation,
+            session.evaluate(sched, timed).expectation);
 }
 
 TEST(PipelineDist, DistPlansTheLocalSliceAndMatchesOracleAtTheBoundary) {

@@ -364,6 +364,23 @@ TEST(ServeSessionCache, BuildFailureLeavesNoResidue) {
   EXPECT_FALSE(cache.checkout(problem, SimulatorSpec::parse("serial")).hit());
 }
 
+TEST(ServeSessionCache, BuiltSessionFootprintChargesPlanAndU16Buffers) {
+  // Regression: the (n, terms) estimate missed the buffers only a live
+  // session reveals -- the LayerPlan's passes and, for u16 specs, the
+  // uint16 code array plus the 65536-entry phase table -- so u16 sessions
+  // were undercounted by over a MiB and evictions lagged the budget.
+  const TermList problem = test_problem(10, 1);
+  const std::uint64_t base = session_footprint_bytes(10, problem.size());
+  const api::ProblemSession u16_session(problem,
+                                        SimulatorSpec::parse("u16"));
+  const std::uint64_t dim = std::uint64_t{1} << 10;
+  EXPECT_GE(session_footprint_bytes(u16_session),
+            base + dim * 2 + std::uint64_t{65536} * sizeof(cdouble));
+  // Plain f64-diagonal sessions charge at least the estimate (plus plan).
+  const api::ProblemSession plain(problem, SimulatorSpec::parse("serial"));
+  EXPECT_GE(session_footprint_bytes(plain), base);
+}
+
 // ------------------------------------------------------------ server
 
 TEST(ScheduleServer, SoakIsBitIdenticalToDirectSessions) {

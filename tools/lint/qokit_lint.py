@@ -41,6 +41,15 @@ simd-flags
     make the base binary emit illegal instructions on plain x86-64 --
     exactly the bug class the runtime CPUID dispatch exists to prevent.
 
+pipeline-geometry
+    No bare geometry literals (tile_log2/group_qubits/chunk_log2 assigned
+    a numeric constant) in src/pipeline/ outside geometry.hpp. The tiling
+    knobs live in pipeline::Geometry with exactly one defaults site so
+    the machine-adaptive profile (src/tune/) has exactly one injection
+    point; a scattered literal re-creates the pre-tune constant drift.
+    Tests and benches may pin literals freely -- the rule scopes to
+    src/pipeline/ only.
+
 Suppression: append `// qokit-lint: allow(<rule>) -- <reason>` to the
 flagged line. Reasons are mandatory by convention and reviewed.
 """
@@ -113,6 +122,17 @@ KERNEL_ALLOC_RE = re.compile(
     r"\.resize\s*\(|\.reserve\s*\(|std::string\b|std::deque\b|std::map\b|"
     r"std::unordered_map\b"
 )
+
+# ----------------------------------------------- pipeline-geometry
+# A geometry knob assigned a numeric literal. Clamp calls
+# (std::clamp(x, 2, 30)) and defaults-struct reads don't match -- only a
+# literal landing directly in a tile_log2/group_qubits/chunk_log2 slot,
+# via `=` assignment or designated initializer.
+GEOMETRY_LITERAL_RE = re.compile(
+    r"\b(tile_log2|group_qubits|chunk_log2)\s*=\s*[+-]?\d"
+)
+GEOMETRY_DIR = "src/pipeline/"
+GEOMETRY_EXEMPT = "src/pipeline/geometry.hpp"  # THE defaults site
 
 # ----------------------------------------------------------- simd-flags
 ISA_FLAG_RE = re.compile(r"-m(avx2|avx512[a-z0-9]*|fma)\b|-march=")
@@ -319,6 +339,21 @@ def scan_source(rel: str, text: str) -> List[Finding]:
                     "zero-steady-state-allocation contract",
                 )
 
+    # pipeline-geometry
+    if rel.startswith(GEOMETRY_DIR) and rel != GEOMETRY_EXEMPT:
+        for idx, line in enumerate(code_lines):
+            m = GEOMETRY_LITERAL_RE.search(line)
+            if m:
+                emit(
+                    idx,
+                    "pipeline-geometry",
+                    f"bare geometry literal ('{m.group(0).strip()}') in "
+                    "src/pipeline/; the tiling knobs have exactly one "
+                    "defaults site (pipeline::Geometry::defaults in "
+                    "geometry.hpp) so the tune profile stays the single "
+                    "injection point",
+                )
+
     # simd-flags: intrinsic headers / target attributes outside src/simd/
     if SIMD_DIR not in rel:
         for idx, line in enumerate(code_lines):
@@ -522,6 +557,31 @@ SELF_TEST_CASES = [
         "std::mutex legacy_mu;  "
         "// qokit-lint: allow(kernel-alloc) -- wrong rule\n",
         "raw-sync",
+    ),
+    (
+        "bare geometry literal in src/pipeline/ must be flagged",
+        "src/pipeline/bad_geom.cpp",
+        "void f(PipelineOptions& opts) { opts.geometry.tile_log2 = 16; }\n",
+        "pipeline-geometry",
+    ),
+    (
+        "designated-initializer geometry literal must be flagged",
+        "src/pipeline/bad_geom_init.cpp",
+        "PipelineOptions o{.mode = PipelineMode::On,\n"
+        "                  .geometry = {.group_qubits = 6}};\n",
+        "pipeline-geometry",
+    ),
+    (
+        "geometry.hpp itself (the one defaults site) is exempt",
+        "src/pipeline/geometry.hpp",
+        "struct Geometry { int tile_log2 = 16; };\n",
+        None,
+    ),
+    (
+        "geometry literals outside src/pipeline/ are fine",
+        "tests/test_pipeline_geom.cpp",
+        "opts.geometry.tile_log2 = 4;\n",
+        None,
     ),
 ]
 
