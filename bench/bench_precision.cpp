@@ -1,0 +1,187 @@
+// Mixed precision: f32 vs f64 amplitude path, ns/layer and bytes/amp at
+// n = 20, 22, 24, serial and parallel, emitting BENCH_precision.json.
+//
+// Times simulate_qaoa_from on the same FurQaoaSimulator configuration
+// (same problem, schedule, pipeline, and SIMD dispatch) with only the
+// amplitude scalar switched, so the ratio isolates what f32 buys: half
+// the bytes per sweep and twice the SIMD lane width. Acceptance target:
+// >= 1.6x fewer ns/layer on bandwidth-bound sizes (n = 24). Accuracy is
+// cross-checked before timing — the full-size error-budget study
+// (n = 24, p = 100: per-run amplitude drift and expectation error
+// against the f64 oracle) runs first, and a drift past the pinned
+// tolerance exits nonzero, so the bench doubles as the large-n twin of
+// test_precision's drift study.
+//
+// Smoke mode (QOKIT_BENCH_SMOKE=1 or --smoke): n = 14 and 16 only, 1 rep,
+// p = 20 study — used by CI (and `ctest -C bench -L bench-smoke`) to keep
+// the JSON generation path alive without burning minutes.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "common/aligned.hpp"
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "diagonal/cost_diagonal.hpp"
+#include "fur/simulator.hpp"
+#include "statevector/state.hpp"
+
+namespace {
+
+using namespace qokit;
+
+struct Result {
+  int n;
+  const char* exec;
+  double f64_ns_layer;
+  double f32_ns_layer;
+};
+
+struct Study {
+  int n = 0;
+  int p = 0;
+  double max_amp_drift = 0.0;
+  double expectation_abs_error = 0.0;
+};
+
+/// Best-of-`reps` wall time of `run`.
+template <class F>
+double time_best(int reps, F&& run) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    run();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+CostDiagonal random_diagonal(int n) {
+  const std::uint64_t dim = dim_of(n);
+  Rng rng(4300 + static_cast<std::uint64_t>(n));
+  aligned_vector<double> values(dim);
+  for (double& v : values) v = rng.uniform(-8.0, 8.0);
+  return CostDiagonal::from_values(n, std::move(values));
+}
+
+std::pair<std::vector<double>, std::vector<double>> ramp_schedule(int p) {
+  std::vector<double> g(p), b(p);
+  for (int l = 0; l < p; ++l) {
+    const double t = (l + 0.5) / p;
+    g[l] = 0.55 * t;
+    b[l] = 0.65 * (1 - t);
+  }
+  return {g, b};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) ||
+      (std::getenv("QOKIT_BENCH_SMOKE") != nullptr);
+  const int reps = smoke ? 1 : 3;
+  const int layers = smoke ? 2 : 4;
+  const std::vector<int> ns =
+      smoke ? std::vector<int>{14, 16} : std::vector<int>{20, 22, 24};
+
+  // ---- error-budget study vs the f64 oracle (the test_precision drift
+  // study at full problem size), on the largest benched n.
+  Study study;
+  study.n = ns.back();
+  study.p = smoke ? 20 : 100;
+  bool within_budget = true;
+  {
+    const CostDiagonal diag = random_diagonal(study.n);
+    const auto [g, b] = ramp_schedule(study.p);
+    FurConfig cfg64;
+    FurConfig cfg32;
+    cfg32.prec = Precision::F32;
+    const FurQaoaSimulator sim64(diag, cfg64);
+    const FurQaoaSimulator sim32(diag, cfg32);
+    const StateVector r64 = sim64.simulate_qaoa(g, b);
+    const StateVector r32 = sim32.simulate_qaoa(g, b);
+    study.max_amp_drift = r64.max_abs_diff(r32);
+    study.expectation_abs_error =
+        std::abs(sim64.get_expectation(r64) - sim32.get_expectation(r32));
+    // Pinned budget: rounding-noise scale. A float-typed accumulator or a
+    // wrong-width kernel shows up orders of magnitude above this.
+    if (study.max_amp_drift > 1e-5 || study.expectation_abs_error > 1e-2) {
+      std::fprintf(stderr,
+                   "F32 DRIFT OVER BUDGET at n=%d p=%d: amp %.3e exp %.3e\n",
+                   study.n, study.p, study.max_amp_drift,
+                   study.expectation_abs_error);
+      within_budget = false;
+    }
+    std::printf("study n=%d p=%d  amp drift %.3e  |dE| %.3e\n", study.n,
+                study.p, study.max_amp_drift, study.expectation_abs_error);
+    std::fflush(stdout);
+  }
+
+  // ---- ns/layer, f64 vs f32, both Exec policies.
+  std::vector<Result> results;
+  for (int n : ns) {
+    const CostDiagonal diag = random_diagonal(n);
+    const auto [gammas, betas] = ramp_schedule(layers);
+    for (const Exec exec : {Exec::Serial, Exec::Parallel}) {
+      FurConfig cfg64;
+      cfg64.exec = exec;
+      FurConfig cfg32 = cfg64;
+      cfg32.prec = Precision::F32;
+      const FurQaoaSimulator sim64(diag, cfg64);
+      const FurQaoaSimulator sim32(diag, cfg32);
+
+      StateVector s64 = sim64.initial_state();
+      StateVector s32 = sim32.initial_state();
+      const double f64_s = time_best(reps, [&] {
+        s64 = sim64.simulate_qaoa_from(std::move(s64), gammas, betas);
+      }) / layers;
+      const double f32_s = time_best(reps, [&] {
+        s32 = sim32.simulate_qaoa_from(std::move(s32), gammas, betas);
+      }) / layers;
+
+      const char* exec_name = exec == Exec::Serial ? "serial" : "parallel";
+      results.push_back({n, exec_name, f64_s * 1e9, f32_s * 1e9});
+      std::printf(
+          "n=%2d %-8s f64 %10.2f ms/layer  f32 %10.2f ms/layer  %5.2fx\n",
+          n, exec_name, f64_s * 1e3, f32_s * 1e3, f64_s / f32_s);
+      std::fflush(stdout);
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_precision.json", "w");
+  if (!out) {
+    std::perror("BENCH_precision.json");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::write_context(out, smoke);
+  std::fprintf(out,
+               "  \"layers\": %d,\n"
+               "  \"f64_bytes_per_amp\": %d,\n"
+               "  \"f32_bytes_per_amp\": %d,\n"
+               "  \"error_study\": {\"n\": %d, \"p\": %d, "
+               "\"max_amp_drift\": %.6e, \"expectation_abs_error\": %.6e},\n"
+               "  \"results\": [\n",
+               layers, static_cast<int>(amplitude_bytes(Precision::F64)),
+               static_cast<int>(amplitude_bytes(Precision::F32)), study.n,
+               study.p, study.max_amp_drift, study.expectation_abs_error);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(out,
+                 "    {\"n\": %d, \"exec\": \"%s\", "
+                 "\"f64_ns_per_layer\": %.0f, \"f32_ns_per_layer\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.n, r.exec, r.f64_ns_layer, r.f32_ns_layer,
+                 r.f64_ns_layer / r.f32_ns_layer,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return within_budget ? 0 : 2;
+}

@@ -105,6 +105,8 @@ EvalResult ProblemSession::evaluate(const QaoaParams& schedule,
   span.attr("n", num_qubits());
   span.attr("p", static_cast<std::int64_t>(schedule.gammas.size()));
   span.attr("backend", qokit::to_string(spec_.backend).data());
+  span.attr("prec_bits",
+            static_cast<std::int64_t>(precision_bits(sim_->precision())));
   EvalResult out;
   const steady::time_point t0 = steady::now();
   // Refill the reused scratch slot from the cached initial state (a

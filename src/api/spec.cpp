@@ -3,12 +3,14 @@
 #include <bit>
 #include <charconv>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "diagonal/ops.hpp"
 #include "dist/dist_fur.hpp"
 #include "gatesim/execute.hpp"
 #include "gatesim/simulator.hpp"
+#include "obs/obs.hpp"
 #include "tune/profile.hpp"
 
 namespace qokit {
@@ -150,6 +152,10 @@ bool apply_option(std::string_view token, std::string_view name,
   } else if (key == "obs") {
     if (value == "on") spec->obs = true, ok = true;
     else if (value == "off") spec->obs = false, ok = true;
+  } else if (key == "prec") {
+    if (value == "auto") spec->prec = Prec::Auto, ok = true;
+    else if (value == "f32") spec->prec = Prec::F32, ok = true;
+    else if (value == "f64") spec->prec = Prec::F64, ok = true;
   } else if (key == "tune") {
     // Any value that is not a recognized mode is a profile file path
     // ("off" is an alias for "static", mirroring QOKIT_TUNE=off).
@@ -262,6 +268,8 @@ std::string SimulatorSpec::to_string() const {
   if (tune == TuneChoice::Static) out += ":tune=static";
   else if (tune == TuneChoice::Search) out += ":tune=search";
   else if (tune == TuneChoice::Path) out += ":tune=" + tune_path;
+  if (prec != Prec::Auto)
+    out += prec == Prec::F32 ? ":prec=f32" : ":prec=f64";
   return out;
 }
 
@@ -356,6 +364,38 @@ tune::TuneMode tune_mode_of(TuneChoice choice) {
   }
 }
 
+/// True when the combination a spec resolves to can evolve f32 amplitudes:
+/// the fur/dist X-mixer paths. Gatesim and the xy mixers stay f64-only.
+bool supports_f32(const SimulatorSpec& spec) {
+  return spec.backend != Backend::Gatesim && spec.mixer == MixerType::X;
+}
+
+/// Resolve the effective amplitude precision. Explicit f32/f64 win (an
+/// explicit f32 on an unsupported combination is validated by the caller
+/// and throws); Auto consults QOKIT_PREC, where "f32" opts the whole
+/// process into float amplitudes *where supported* — unsupported
+/// combinations silently stay f64, so an env-driven f32 run (the CI
+/// prec=f32 leg) still passes suites that exercise gatesim/xy backends.
+Precision resolve_precision(const SimulatorSpec& spec) {
+  switch (spec.prec) {
+    case Prec::F32: return Precision::F32;
+    case Prec::F64: return Precision::F64;
+    default: break;
+  }
+  const char* env = std::getenv("QOKIT_PREC");
+  if (env && std::string_view(env) == "f32" && supports_f32(spec))
+    return Precision::F32;
+  return Precision::F64;
+}
+
+/// Last-resolution precision gauge (bits of the amplitude scalar), set on
+/// every make_simulator call so dashboards can tell mixed-precision runs
+/// apart without parsing spec strings.
+void record_precision(Precision prec) {
+  static const obs::Gauge bits = obs::gauge("qokit_precision_bits");
+  bits.set(static_cast<double>(precision_bits(prec)));
+}
+
 }  // namespace
 
 std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
@@ -367,6 +407,12 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
   // bit-identical to tune=static by the Geometry contract.
   const tune::TuneProfile tuned =
       tune::resolve_profile(tune_mode_of(spec.tune), spec.tune_path);
+  const Precision prec = resolve_precision(spec);
+  if (prec == Precision::F32 && !supports_f32(spec))
+    throw std::invalid_argument(
+        "make_simulator: prec=f32 supports the X-mixer fur/dist backends "
+        "only (gatesim and xy mixers are f64-only)");
+  record_precision(prec);
   switch (spec.backend) {
     case Backend::Dist:
       if (spec.mixer != MixerType::X)
@@ -394,7 +440,8 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
           DistConfig{.ranks = spec.ranks,
                      .strategy = spec.alltoall,
                      .pipeline = {.mode = spec.pipeline,
-                                  .geometry = tuned.geometry}});
+                                  .geometry = tuned.geometry},
+                     .prec = prec});
     case Backend::Gatesim:
       return std::make_unique<GateSimAdapter>(terms, spec);
     default: {
@@ -404,6 +451,7 @@ std::unique_ptr<QaoaFastSimulatorBase> make_simulator(
       cfg.initial_weight = spec.initial_weight;
       cfg.pipeline.mode = spec.pipeline;
       cfg.pipeline.geometry = tuned.geometry;
+      cfg.prec = prec;
       if (spec.backend == Backend::U16) cfg.use_u16 = true;
       if (spec.backend == Backend::Fwht) {
         if (spec.mixer != MixerType::X)

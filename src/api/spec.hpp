@@ -46,6 +46,18 @@ enum class SimdChoice {
   Avx2,    ///< request AVX2 (clamped to scalar when unavailable)
 };
 
+/// Amplitude precision a spec requests. Auto defers to the QOKIT_PREC
+/// environment variable ("f32" selects float amplitudes when the resolved
+/// backend supports them; anything else means f64) and otherwise means
+/// f64 — so default spec spellings, cache keys, and results are untouched
+/// by this knob. Explicit F32 on an unsupported combination (gatesim, xy
+/// mixers) throws from make_simulator instead of silently widening.
+enum class Prec {
+  Auto,  ///< QOKIT_PREC env, else f64; downgrades silently if unsupported
+  F32,   ///< float amplitudes (X mixer fur/dist backends only)
+  F64,   ///< double amplitudes (the pre-existing behavior)
+};
+
 /// How a spec engages the machine-adaptive subsystem (src/tune/). Every
 /// choice is bit-identical to every other — tuning changes traversal
 /// order and placement, never arithmetic.
@@ -73,6 +85,7 @@ enum class TuneChoice {
 ///            | "pipeline=" ("auto" | "on" | "off")
 ///            | "obs="      ("on" | "off")
 ///            | "tune="     ("auto" | "static" | "off" | "search" | <path>)
+///            | "prec="     ("auto" | "f32" | "f64")
 ///
 /// Any other token throws std::invalid_argument naming the offending
 /// token -- no spelling silently falls back to a default simulator.
@@ -120,6 +133,9 @@ struct SimulatorSpec {
   /// ':' are not representable in the string grammar; build the spec
   /// directly for those.
   std::string tune_path;
+  /// Amplitude scalar width (see enum Prec). Auto = QOKIT_PREC env, else
+  /// f64; to_string() elides Auto so default spellings are unchanged.
+  Prec prec = Prec::Auto;
 
   /// Parse a spelling per the grammar above. Throws std::invalid_argument
   /// naming the offending token on anything unrecognized.

@@ -63,7 +63,9 @@ BatchParallelism BatchEvaluator::resolve(BatchParallelism requested,
   // (the virtual-rank distributed simulator): stacking an outer team on
   // top would only oversubscribe.
   if (sim_->prefers_sequential_batches()) return BatchParallelism::Inner;
-  const std::uint64_t bytes = init_.size() * sizeof(cdouble);
+  // Actual amplitude width (f32 states cost half), so the outer-scratch
+  // budget admits twice the f32 slots it would f64 ones.
+  const std::uint64_t bytes = init_.bytes();
   if (static_cast<std::uint64_t>(threads) * bytes > kMaxOuterScratchBytes)
     return BatchParallelism::Inner;
   // Sub-grain states get no inner parallelism at all (parallel_for runs
@@ -120,9 +122,11 @@ void BatchEvaluator::evaluate_into(std::span<const QaoaParams> schedules,
   // slot's first use), then the consume-in-place evolution; the buffer
   // round-trips through moves and comes back to the slot.
   auto evolve = [&](std::size_t i, StateVector& slot) {
-    // A slot already sized like the initial state refills in place; a
-    // fresh (or wrongly sized) slot pays a statevector allocation.
-    if (slot.size() == init_.size()) scratch_hits.add();
+    // A slot already sized (and precision-matched) like the initial state
+    // refills in place; a fresh or mismatched slot pays an allocation.
+    if (slot.size() == init_.size() &&
+        slot.precision() == init_.precision())
+      scratch_hits.add();
     else scratch_allocs.add();
     const std::uint64_t t0 = opts.record_timings ? tick_ns() : 0;
     slot = init_;

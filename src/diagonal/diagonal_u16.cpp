@@ -58,4 +58,14 @@ void DiagonalU16::phase_table_into(
   }
 }
 
+void DiagonalU16::phase_table_into(
+    double gamma, aligned_vector<std::complex<float>>& lut) const {
+  lut.resize(65536);
+  for (std::uint32_t c = 0; c < 65536; ++c) {
+    const double ang = -gamma * (offset_ + scale_ * c);
+    lut[c] = std::complex<float>(static_cast<float>(std::cos(ang)),
+                                 static_cast<float>(std::sin(ang)));
+  }
+}
+
 }  // namespace qokit

@@ -62,9 +62,13 @@ class DiagonalU16 {
 
   /// Fill a caller-owned table instead of allocating one (resize reuses
   /// capacity), so the per-layer phase application can run with zero
-  /// steady-state allocations like every other hot path.
+  /// steady-state allocations like every other hot path. The complex64
+  /// overload computes each factor in double and narrows once — the
+  /// mixed-precision path's table build (256 KiB instead of 1 MiB).
   void phase_table_into(double gamma,
                         aligned_vector<std::complex<double>>& lut) const;
+  void phase_table_into(double gamma,
+                        aligned_vector<std::complex<float>>& lut) const;
 
  private:
   int n_ = 0;

@@ -18,6 +18,10 @@ void check_dims(std::uint64_t a, std::uint64_t b, const char* what) {
 void apply_phase(StateVector& sv, const CostDiagonal& diag, double gamma,
                  Exec exec) {
   check_dims(sv.size(), diag.size(), "apply_phase");
+  if (sv.precision() == Precision::F32) {
+    apply_phase_slice(sv.data_f32(), diag.data(), sv.size(), gamma, exec);
+    return;
+  }
   apply_phase_slice(sv.data(), diag.data(), sv.size(), gamma, exec);
 }
 
@@ -26,13 +30,25 @@ void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
   simd::apply_phase_slice(amp, costs, count, gamma, exec);
 }
 
+void apply_phase_slice(cfloat* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec) {
+  simd::apply_phase_slice(amp, costs, count, gamma, exec);
+}
+
 void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
                  Exec exec) {
   check_dims(sv.size(), diag.size(), "apply_phase(u16)");
-  // Per-thread reusable table (1 MiB): after a thread's first layer the
-  // u16 phase path performs zero allocations, matching the other hot
-  // paths and keeping the scratch-reuse allocation pins valid for the
-  // u16 backend too.
+  // Per-thread reusable tables (1 MiB f64 / 256 KiB f32): after a
+  // thread's first layer the u16 phase path performs zero allocations,
+  // matching the other hot paths and keeping the scratch-reuse allocation
+  // pins valid for the u16 backend too.
+  if (sv.precision() == Precision::F32) {
+    thread_local aligned_vector<std::complex<float>> lut32;
+    diag.phase_table_into(gamma, lut32);
+    simd::apply_phase_table(sv.data_f32(), diag.codes(), lut32.data(),
+                            sv.size(), exec);
+    return;
+  }
   thread_local aligned_vector<std::complex<double>> lut;
   diag.phase_table_into(gamma, lut);
   simd::apply_phase_table(sv.data(), diag.codes(), lut.data(), sv.size(),
@@ -42,6 +58,8 @@ void apply_phase(StateVector& sv, const DiagonalU16& diag, double gamma,
 double expectation(const StateVector& sv, const CostDiagonal& diag,
                    Exec exec) {
   check_dims(sv.size(), diag.size(), "expectation");
+  if (sv.precision() == Precision::F32)
+    return expectation_slice(sv.data_f32(), diag.data(), sv.size(), exec);
   return expectation_slice(sv.data(), diag.data(), sv.size(), exec);
 }
 
@@ -50,9 +68,17 @@ double expectation_slice(const cdouble* amp, const double* costs,
   return simd::expectation_slice(amp, costs, count, exec);
 }
 
+double expectation_slice(const cfloat* amp, const double* costs,
+                         std::uint64_t count, Exec exec) {
+  return simd::expectation_slice(amp, costs, count, exec);
+}
+
 double expectation(const StateVector& sv, const DiagonalU16& diag,
                    Exec exec) {
   check_dims(sv.size(), diag.size(), "expectation(u16)");
+  if (sv.precision() == Precision::F32)
+    return simd::expectation_u16(sv.data_f32(), diag.codes(), diag.offset(),
+                                 diag.scale(), sv.size(), exec);
   return simd::expectation_u16(sv.data(), diag.codes(), diag.offset(),
                                diag.scale(), sv.size(), exec);
 }
@@ -61,8 +87,24 @@ double expectation_terms(const StateVector& sv, const TermList& terms,
                          Exec exec) {
   if (terms.num_qubits() != sv.num_qubits())
     throw std::invalid_argument("expectation_terms: qubit-count mismatch");
-  const cdouble* amp = sv.data();
   double total = terms.offset();  // constant term, <1> = norm = 1
+  if (sv.precision() == Precision::F32) {
+    const cfloat* amp = sv.data_f32();
+    for (const Term& t : terms) {
+      if (t.mask == 0) continue;
+      const std::uint64_t mask = t.mask;
+      const double z = parallel_reduce_sum(
+          exec, 0, static_cast<std::int64_t>(sv.size()),
+          [amp, mask](std::int64_t i) {
+            const double re = amp[i].real(), im = amp[i].imag();
+            return (re * re + im * im) *
+                   parity_sign(static_cast<std::uint64_t>(i), mask);
+          });
+      total += t.weight * z;
+    }
+    return total;
+  }
+  const cdouble* amp = sv.data();
   for (const Term& t : terms) {
     if (t.mask == 0) continue;
     const std::uint64_t mask = t.mask;
@@ -81,6 +123,9 @@ double overlap_ground(const StateVector& sv, const CostDiagonal& diag,
                       double tol, Exec exec) {
   check_dims(sv.size(), diag.size(), "overlap_ground");
   const double lo = diag.min_value();
+  if (sv.precision() == Precision::F32)
+    return simd::overlap_ground(sv.data_f32(), diag.data(), lo + tol,
+                                sv.size(), exec);
   return simd::overlap_ground(sv.data(), diag.data(), lo + tol, sv.size(),
                               exec);
 }
@@ -93,12 +138,27 @@ double overlap_ground_sector(const StateVector& sv, const CostDiagonal& diag,
   // The per-weight minimum is cached inside the diagonal (one scan for all
   // weights on first use), leaving a single filtered-reduction pass here.
   const double lo = diag.sector_min(weight);
-  const cdouble* amp = sv.data();
   const double* c = diag.data();
   const double threshold = lo + tol;
   // Block-ordered reduction (not an OpenMP reduction) so the result is
   // independent of thread count, matching the simd-layer determinism
   // contract the other overlap/expectation paths follow.
+  if (sv.precision() == Precision::F32) {
+    const cfloat* amp = sv.data_f32();
+    return parallel_reduce_blocks(
+        exec, static_cast<std::int64_t>(sv.size()), kSimdBlock,
+        [amp, c, weight, threshold](std::int64_t b, std::int64_t e) {
+          double acc = 0.0;
+          for (std::int64_t i = b; i < e; ++i)
+            if (popcount(static_cast<std::uint64_t>(i)) == weight &&
+                c[i] <= threshold) {
+              const double re = amp[i].real(), im = amp[i].imag();
+              acc += re * re + im * im;
+            }
+          return acc;
+        });
+  }
+  const cdouble* amp = sv.data();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(sv.size()), kSimdBlock,
       [amp, c, weight, threshold](std::int64_t b, std::int64_t e) {

@@ -90,11 +90,15 @@ void barrier_wait(WorldState& st, std::uint64_t* wait_ns) {
 
 /// MPI_Alltoall model: scatter into a central staging buffer laid out
 /// destination-major, then every rank reads its row back contiguously.
-/// Two full copies of the exchanged data.
-void alltoall_staged(WorldState& st, int rank, cdouble* buf,
-                     std::uint64_t block, std::uint64_t* wait_ns) {
+/// Two full copies of the exchanged data. Templated on the amplitude type
+/// (staging is a byte buffer sized in elements of C, so the f32 exchange
+/// stages half the bytes).
+template <class C>
+void alltoall_staged(WorldState& st, int rank, C* buf, std::uint64_t block,
+                     std::uint64_t* wait_ns) {
   const int k = st.size;
-  const std::uint64_t total = static_cast<std::uint64_t>(k) * k * block;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(k) * k * block * sizeof(C);
   // Entry barrier doubles as the guard that every rank has finished reading
   // the staging buffer from any previous exchange before rank 0 regrows it.
   barrier_wait(st, wait_ns);
@@ -104,14 +108,16 @@ void alltoall_staged(WorldState& st, int rank, cdouble* buf,
   // the staging buffer cannot be trusted; abandon the exchange and let
   // run() re-throw after the join.
   if (st.failed.load(std::memory_order_acquire)) return;
+  // vector<std::byte>'s allocation carries operator-new alignment (>=
+  // alignof(C) for both amplitude types), so the element view is valid.
+  C* stage = reinterpret_cast<C*>(st.staging.data());
   // staging[(dest * k + src) * block .. ] = src's block dest.
   for (int b = 0; b < k; ++b)
     std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
-                st.staging.data() +
-                    (static_cast<std::uint64_t>(b) * k + rank) * block);
+                stage + (static_cast<std::uint64_t>(b) * k + rank) * block);
   barrier_wait(st, wait_ns);
   // My row is contiguous: block b = what rank b sent to me.
-  std::copy_n(st.staging.data() + static_cast<std::uint64_t>(rank) * k * block,
+  std::copy_n(stage + static_cast<std::uint64_t>(rank) * k * block,
               static_cast<std::uint64_t>(k) * block, buf);
   barrier_wait(st, wait_ns);
 }
@@ -121,8 +127,9 @@ void alltoall_staged(WorldState& st, int rank, cdouble* buf,
 /// rank performs the swap while the higher one holds at the round barrier.
 /// Each block is touched in exactly one round, so the rounds compose into
 /// the full transpose with a single copy per element.
-void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
-                       std::uint64_t block, std::uint64_t* wait_ns) {
+template <class C>
+void alltoall_pairwise(WorldState& st, int rank, C* buf, std::uint64_t block,
+                       std::uint64_t* wait_ns) {
   const int k = st.size;
   st.windows[rank] = buf;
   barrier_wait(st, wait_ns);
@@ -133,9 +140,9 @@ void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
     if (st.failed.load(std::memory_order_acquire)) return;
     const int peer = rank ^ s;
     if (rank < peer) {
-      cdouble* mine = buf + static_cast<std::uint64_t>(peer) * block;
-      cdouble* theirs =
-          st.windows[peer] + static_cast<std::uint64_t>(rank) * block;
+      C* mine = buf + static_cast<std::uint64_t>(peer) * block;
+      C* theirs = static_cast<C*>(st.windows[peer]) +
+                  static_cast<std::uint64_t>(rank) * block;
       std::swap_ranges(mine, mine + block, theirs);
     }
     barrier_wait(st, wait_ns);
@@ -145,66 +152,80 @@ void alltoall_pairwise(WorldState& st, int rank, cdouble* buf,
 /// One-sided RDMA model: every rank publishes a receive slice and each
 /// peer writes its outgoing block straight into it; one remote write plus
 /// one local copy back into the live buffer.
-void alltoall_direct(WorldState& st, int rank, cdouble* buf,
-                     std::uint64_t block, std::vector<cdouble>& recv,
-                     std::uint64_t* wait_ns) {
+template <class C>
+void alltoall_direct(WorldState& st, int rank, C* buf, std::uint64_t block,
+                     std::vector<std::byte>& recv, std::uint64_t* wait_ns) {
   const int k = st.size;
-  recv.resize(static_cast<std::uint64_t>(k) * block);
+  const std::uint64_t count = static_cast<std::uint64_t>(k) * block;
+  recv.resize(count * sizeof(C));
   st.windows[rank] = recv.data();
   barrier_wait(st, wait_ns);
   // See alltoall_pairwise: never write into a dead rank's window.
   if (st.failed.load(std::memory_order_acquire)) return;
   for (int b = 0; b < k; ++b)
     std::copy_n(buf + static_cast<std::uint64_t>(b) * block, block,
-                st.windows[b] + static_cast<std::uint64_t>(rank) * block);
+                static_cast<C*>(st.windows[b]) +
+                    static_cast<std::uint64_t>(rank) * block);
   barrier_wait(st, wait_ns);
-  std::copy_n(recv.data(), recv.size(), buf);
+  std::copy_n(reinterpret_cast<const C*>(recv.data()), count, buf);
   // Exit barrier: nobody re-publishes a window (next exchange) while a
   // peer is still draining its receive slice.
   barrier_wait(st, wait_ns);
 }
 
-}  // namespace
-
-void Communicator::alltoall(cdouble* buf, std::uint64_t block) {
-  if (state_->size == 1) return;  // self-exchange is the identity
+/// Shared body of the two public alltoall overloads: instrumentation plus
+/// transport dispatch, with xfer_bytes charged at the actual element width.
+template <class C>
+void alltoall_impl(WorldState& st, int rank, std::vector<std::byte>& recv,
+                   C* buf, std::uint64_t block) {
+  if (st.size == 1) return;  // self-exchange is the identity
   const bool observed = obs::enabled();
-  const int k = state_->size;
+  const int k = st.size;
   const std::uint64_t xfer_bytes =
-      static_cast<std::uint64_t>(k) * block * sizeof(cdouble);
+      static_cast<std::uint64_t>(k) * block * sizeof(C);
   obs::Span span("alltoall");
   std::uint64_t wait_acc = 0;
   std::uint64_t* wait_ns = nullptr;
   const TransportMetrics* m = nullptr;
   if (observed) {
-    m = &transport_metrics(state_->strategy);
+    m = &transport_metrics(st.strategy);
     m->calls.add();
     m->bytes.add(xfer_bytes);
     // Barrier-synchronized communication rounds per call: staged does a
     // scatter and a gather, pairwise one swap round per peer, direct one
     // one-sided write phase.
-    m->rounds.add(state_->strategy == AlltoallStrategy::Pairwise
+    m->rounds.add(st.strategy == AlltoallStrategy::Pairwise
                       ? static_cast<std::uint64_t>(k - 1)
-                      : state_->strategy == AlltoallStrategy::Staged ? 2 : 1);
-    span.attr("transport", to_string(state_->strategy).data());
+                      : st.strategy == AlltoallStrategy::Staged ? 2 : 1);
+    span.attr("transport", to_string(st.strategy).data());
     span.attr("bytes", xfer_bytes);
     span.attr("ranks", k);
     wait_ns = &wait_acc;
   }
-  switch (state_->strategy) {
+  switch (st.strategy) {
     case AlltoallStrategy::Staged:
-      alltoall_staged(*state_, rank_, buf, block, wait_ns);
+      alltoall_staged(st, rank, buf, block, wait_ns);
       break;
     case AlltoallStrategy::Pairwise:
-      alltoall_pairwise(*state_, rank_, buf, block, wait_ns);
+      alltoall_pairwise(st, rank, buf, block, wait_ns);
       break;
     case AlltoallStrategy::Direct:
-      alltoall_direct(*state_, rank_, buf, block, recv_, wait_ns);
+      alltoall_direct(st, rank, buf, block, recv, wait_ns);
       break;
     default:
       throw std::logic_error("alltoall: unknown strategy");
   }
   if (observed) m->wait_ns.record(wait_acc);
+}
+
+}  // namespace
+
+void Communicator::alltoall(cdouble* buf, std::uint64_t block) {
+  alltoall_impl(*state_, rank_, recv_, buf, block);
+}
+
+void Communicator::alltoall(cfloat* buf, std::uint64_t block) {
+  alltoall_impl(*state_, rank_, recv_, buf, block);
 }
 
 }  // namespace qokit

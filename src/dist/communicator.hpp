@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -40,13 +41,16 @@ struct WorldState {
   const AlltoallStrategy strategy;
   std::barrier<> barrier;
   /// Per-rank published pointer: the live buffer (Pairwise) or the receive
-  /// slice (Direct) of each rank during an exchange.
-  std::vector<cdouble*> windows;
+  /// slice (Direct) of each rank during an exchange. Untyped because an
+  /// exchange moves whatever amplitude scalar the collective was called
+  /// with (complex128 or complex64); all ranks of one exchange publish the
+  /// same element type, restored by the transport before dereferencing.
+  std::vector<void*> windows;
   /// Per-rank slots for allreduce_sum.
   std::vector<double> reduce_slots;
   /// Central gather buffer for the Staged transport; grown on demand by
-  /// rank 0 between barriers.
-  std::vector<cdouble> staging;
+  /// rank 0 between barriers. Byte-typed for the same reason as `windows`.
+  std::vector<std::byte> staging;
   /// Set (before arrive_and_drop) by a rank whose closure threw. Window-
   /// touching transports check it after every barrier and bail out so
   /// survivors never dereference a dead rank's window; run() re-throws
@@ -76,9 +80,12 @@ class Communicator {
   /// `block` complex amplitudes. Afterwards block b holds what rank b held
   /// in block rank(): the transpose that implements the paper's
   /// global<->local qubit reordering. All ranks must call collectively
-  /// with the same `block`. The transport is the world's strategy; all
-  /// three produce bit-identical results.
+  /// with the same `block` and the same element type (the f32 overload
+  /// moves half the bytes — the distributed path's share of the
+  /// mixed-precision bandwidth win). The transport is the world's
+  /// strategy; all three produce bit-identical results.
   void alltoall(cdouble* buf, std::uint64_t block);
+  void alltoall(cfloat* buf, std::uint64_t block);
 
  private:
   friend class VirtualRankWorld;
@@ -87,7 +94,7 @@ class Communicator {
 
   int rank_;
   detail::WorldState* state_;
-  std::vector<cdouble> recv_;  ///< Direct-transport receive slice
+  std::vector<std::byte> recv_;  ///< Direct-transport receive slice
 };
 
 /// K virtual ranks (threads) executing one SPMD closure, K a power of two.

@@ -15,9 +15,15 @@
 namespace qokit {
 
 namespace dist {
+namespace {
 
-void apply_mixer_x(Communicator& comm, cdouble* local,
-                   std::uint64_t local_size, int num_qubits, double beta) {
+// Shared body of the two apply_mixer_x overloads: the slice layout and
+// exchange schedule are precision-independent; only the element width
+// moving through kern::rx and the alltoall changes.
+template <class C>
+void apply_mixer_x_impl(Communicator& comm, C* local,
+                        std::uint64_t local_size, int num_qubits,
+                        double beta) {
   const int g = std::countr_zero(static_cast<unsigned>(comm.size()));
   const int nl = num_qubits - g;  // local qubits per rank
   if (nl < g)
@@ -43,7 +49,25 @@ void apply_mixer_x(Communicator& comm, cdouble* local,
   comm.alltoall(local, block);
 }
 
+}  // namespace
+
+void apply_mixer_x(Communicator& comm, cdouble* local,
+                   std::uint64_t local_size, int num_qubits, double beta) {
+  apply_mixer_x_impl(comm, local, local_size, num_qubits, beta);
+}
+
+void apply_mixer_x(Communicator& comm, cfloat* local,
+                   std::uint64_t local_size, int num_qubits, double beta) {
+  apply_mixer_x_impl(comm, local, local_size, num_qubits, beta);
+}
+
 double expectation_slice(Communicator& comm, const cdouble* local,
+                         const double* costs, std::uint64_t count) {
+  return comm.allreduce_sum(
+      qokit::expectation_slice(local, costs, count, Exec::Serial));
+}
+
+double expectation_slice(Communicator& comm, const cfloat* local,
                          const double* costs, std::uint64_t count) {
   return comm.allreduce_sum(
       qokit::expectation_slice(local, costs, count, Exec::Serial));
@@ -91,42 +115,39 @@ DistributedFurSimulator::DistributedFurSimulator(const TermList& terms,
 }
 
 StateVector DistributedFurSimulator::initial_state() const {
-  return StateVector::plus_state(num_qubits());
+  return StateVector::plus_state(num_qubits(), cfg_.prec);
 }
 
-StateVector DistributedFurSimulator::simulate_qaoa_from(
-    StateVector state, std::span<const double> gammas,
-    std::span<const double> betas) const {
-  if (gammas.size() != betas.size())
-    throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
-  if (state.num_qubits() != num_qubits())
-    throw std::invalid_argument("simulate_qaoa: state size mismatch");
-  obs::Span span("simulate");
-  span.attr("n", num_qubits());
-  span.attr("p", static_cast<std::int64_t>(gammas.size()));
-  span.attr("ranks", cfg_.ranks);
-  const std::uint64_t local = state.size() >> log2_ranks_;
-  cdouble* data = state.data();
-  const double* costs = diag_.data();
-  const int n = num_qubits();
-  const int g = log2_ranks_;
-  world_.run([&](Communicator& comm) {
+namespace {
+
+/// One rank team's full schedule over the sharded amplitude array, at
+/// either precision. Mirrors FurQaoaSimulator::simulate_qaoa_from's fused/
+/// unfused split, per-rank and with Exec::Serial throughout (the K rank
+/// threads are the parallelism).
+template <class T>
+void dist_schedule(const VirtualRankWorld& world,
+                   const pipeline::LayerPlan& local_plan,
+                   const pipeline::LayerPlan& global_sweep_plan,
+                   std::complex<T>* data, std::uint64_t local,
+                   const double* costs, int n, int g,
+                   std::span<const double> gammas,
+                   std::span<const double> betas) {
+  world.run([&](Communicator& comm) {
     const std::uint64_t base = static_cast<std::uint64_t>(comm.rank()) * local;
-    cdouble* slice = data + base;
+    std::complex<T>* slice = data + base;
     const double* diag_slice = costs + base;
-    if (local_plan_.active()) {
+    if (local_plan.active()) {
       // Fused Algorithm 4: the rank-local phase + low-qubit mixing run as
       // tiled passes over the slice, and after the alltoall reorder the
-      // swapped-in global qubits get the same strided tiling. Exec::Serial
-      // throughout — the K rank threads are the parallelism.
-      const pipeline::PhaseCtx ctx{.costs = diag_slice};
+      // swapped-in global qubits get the same strided tiling.
+      const pipeline::PhaseCtxT<T> ctx{.costs = diag_slice};
       const std::uint64_t block = local >> g;
       for (std::size_t l = 0; l < gammas.size(); ++l) {
-        pipeline::run_layer(local_plan_, slice, local, ctx, gammas[l],
+        pipeline::run_layer(local_plan, slice, local, ctx, gammas[l],
                             betas[l], Exec::Serial);
         if (g > 0) {
           comm.alltoall(slice, block);
-          pipeline::run_sweep(global_sweep_plan_, slice, local,
+          pipeline::run_sweep(global_sweep_plan, slice, local,
                               std::cos(betas[l]), std::sin(betas[l]),
                               Exec::Serial);
           comm.alltoall(slice, block);
@@ -143,6 +164,31 @@ StateVector DistributedFurSimulator::simulate_qaoa_from(
       dist::apply_mixer_x(comm, slice, local, n, betas[l]);
     }
   });
+}
+
+}  // namespace
+
+StateVector DistributedFurSimulator::simulate_qaoa_from(
+    StateVector state, std::span<const double> gammas,
+    std::span<const double> betas) const {
+  if (gammas.size() != betas.size())
+    throw std::invalid_argument("simulate_qaoa: gammas/betas length mismatch");
+  if (state.num_qubits() != num_qubits())
+    throw std::invalid_argument("simulate_qaoa: state size mismatch");
+  obs::Span span("simulate");
+  span.attr("n", num_qubits());
+  span.attr("p", static_cast<std::int64_t>(gammas.size()));
+  span.attr("ranks", cfg_.ranks);
+  const std::uint64_t local = state.size() >> log2_ranks_;
+  const double* costs = diag_.data();
+  const int n = num_qubits();
+  const int g = log2_ranks_;
+  if (state.precision() == Precision::F32)
+    dist_schedule(world_, local_plan_, global_sweep_plan_, state.data_f32(),
+                  local, costs, n, g, gammas, betas);
+  else
+    dist_schedule(world_, local_plan_, global_sweep_plan_, state.data(),
+                  local, costs, n, g, gammas, betas);
   // The slices live in one contiguous buffer and the exchange is undone
   // every layer, so the "gather" is free.
   return state;
@@ -155,9 +201,20 @@ double DistributedFurSimulator::simulate_and_expectation(
   // the total comes back through one allreduce -- the state is never
   // traversed as a whole.
   const std::uint64_t local = state.size() >> log2_ranks_;
-  const cdouble* data = state.data();
   const double* costs = diag_.data();
   double result = 0.0;
+  if (state.precision() == Precision::F32) {
+    const cfloat* data = state.data_f32();
+    world_.run([&](Communicator& comm) {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(comm.rank()) * local;
+      const double total =
+          dist::expectation_slice(comm, data + base, costs + base, local);
+      if (comm.rank() == 0) result = total;
+    });
+    return result;
+  }
+  const cdouble* data = state.data();
   world_.run([&](Communicator& comm) {
     const std::uint64_t base = static_cast<std::uint64_t>(comm.rank()) * local;
     const double total =

@@ -37,10 +37,15 @@ namespace dist {
 /// must call with the same num_qubits and beta.
 void apply_mixer_x(Communicator& comm, cdouble* local,
                    std::uint64_t local_size, int num_qubits, double beta);
+void apply_mixer_x(Communicator& comm, cfloat* local,
+                   std::uint64_t local_size, int num_qubits, double beta);
 
 /// <C> contribution of one local slice: sum_i |amp_i|^2 costs_i, reduced
-/// over all ranks; every rank returns the same total.
+/// over all ranks; every rank returns the same total. The per-slice
+/// partial and the allreduce are double at both amplitude precisions.
 double expectation_slice(Communicator& comm, const cdouble* local,
+                         const double* costs, std::uint64_t count);
+double expectation_slice(Communicator& comm, const cfloat* local,
                          const double* costs, std::uint64_t count);
 
 }  // namespace dist
@@ -53,6 +58,10 @@ struct DistConfig {
   /// first local mixer sweep, tiled butterflies between the alltoall
   /// reorders); bit-identical to the unfused per-rank loop.
   pipeline::PipelineOptions pipeline{};
+  /// Amplitude scalar width for the sharded state. F32 halves both the
+  /// per-rank slice memory and every alltoall's exchanged bytes; the
+  /// diagonal and the allreduce stay double.
+  Precision prec = Precision::F64;
 };
 
 /// Algorithm 4 on K virtual ranks. Drop-in replacement for
@@ -67,6 +76,7 @@ class DistributedFurSimulator final : public QaoaFastSimulatorBase {
   explicit DistributedFurSimulator(const TermList& terms, DistConfig cfg = {});
 
   int num_qubits() const override { return diag_.num_qubits(); }
+  Precision precision() const override { return cfg_.prec; }
   StateVector initial_state() const override;
   StateVector simulate_qaoa_from(StateVector state,
                                  std::span<const double> gammas,

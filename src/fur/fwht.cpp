@@ -9,6 +9,11 @@
 namespace qokit {
 
 void fwht(StateVector& sv, Exec exec) {
+  if (sv.precision() == Precision::F32) {
+    for (int q = 0; q < sv.num_qubits(); ++q)
+      kern::hadamard(sv.data_f32(), sv.size(), q, exec);
+    return;
+  }
   for (int q = 0; q < sv.num_qubits(); ++q)
     kern::hadamard(sv.data(), sv.size(), q, exec);
 }
@@ -17,6 +22,14 @@ void fill_x_mixer_phase_table(int num_qubits, double beta, cdouble* table) {
   for (int w = 0; w <= num_qubits; ++w) {
     const double ang = -beta * (num_qubits - 2 * w);
     table[w] = cdouble(std::cos(ang), std::sin(ang));
+  }
+}
+
+void fill_x_mixer_phase_table(int num_qubits, double beta, cfloat* table) {
+  for (int w = 0; w <= num_qubits; ++w) {
+    const double ang = -beta * (num_qubits - 2 * w);
+    table[w] = cfloat(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
   }
 }
 
@@ -29,9 +42,15 @@ void apply_mixer_x_fwht(StateVector& sv, double beta, Exec exec) {
   // instead of paying a sin/cos per amplitude. Fixed-size table (bounded
   // by the StateVector qubit ceiling) keeps this allocation-free for the
   // scratch-pinning contracts of the batch engine.
-  cdouble table[kMaxQubits + 1];
-  fill_x_mixer_phase_table(n, beta, table);
-  simd::apply_phase_popcount(sv.data(), 0, sv.size(), table, exec);
+  if (sv.precision() == Precision::F32) {
+    cfloat table[kMaxQubits + 1];
+    fill_x_mixer_phase_table(n, beta, table);
+    simd::apply_phase_popcount(sv.data_f32(), 0, sv.size(), table, exec);
+  } else {
+    cdouble table[kMaxQubits + 1];
+    fill_x_mixer_phase_table(n, beta, table);
+    simd::apply_phase_popcount(sv.data(), 0, sv.size(), table, exec);
+  }
   fwht(sv, exec);
 }
 

@@ -15,7 +15,8 @@
 namespace qokit {
 
 /// In-place orthonormal Walsh-Hadamard transform (H on every qubit).
-/// Self-inverse. Equals Algorithm 2 with U_i = H for all i.
+/// Self-inverse. Equals Algorithm 2 with U_i = H for all i. Dispatches on
+/// the state's amplitude precision.
 void fwht(StateVector& sv, Exec exec = Exec::Parallel);
 
 /// Transverse-field mixer e^{-i beta sum_i X_i} via FWHT -> diagonal ->
@@ -27,7 +28,10 @@ void apply_mixer_x_fwht(StateVector& sv, double beta,
 /// weight: table[w] = e^{-i beta (n - 2w)} for w = 0..num_qubits (the
 /// caller provides num_qubits + 1 slots, at most kMaxQubits + 1). Shared
 /// by the unfused mixer above and the fused layer pipeline so both gather
-/// bit-identical factors.
+/// bit-identical factors. The cfloat overload computes the angles in
+/// double and narrows each factor once (the same per-entry rounding as
+/// every other f32 phase table).
 void fill_x_mixer_phase_table(int num_qubits, double beta, cdouble* table);
+void fill_x_mixer_phase_table(int num_qubits, double beta, cfloat* table);
 
 }  // namespace qokit

@@ -10,6 +10,44 @@
 #include "pipeline/layer_exec.hpp"
 
 namespace qokit {
+namespace {
+
+/// One fused schedule over a raw amplitude array at either precision.
+/// When `red` is set, the FINAL layer's last pass carries the expectation
+/// reduction into `partials` (double at both precisions). The u16 factor
+/// table is rebuilt per gamma into a per-thread, per-precision scratch
+/// vector, so steady-state layers allocate nothing.
+template <class T>
+void fused_schedule(const pipeline::LayerPlan& plan, std::complex<T>* amp,
+                    std::uint64_t n_amps, bool use_u16,
+                    const CostDiagonal& diag, const DiagonalU16& diag16,
+                    std::span<const double> gammas,
+                    std::span<const double> betas, Exec exec,
+                    const pipeline::ExpectationCtx* red = nullptr,
+                    double* partials = nullptr) {
+  thread_local aligned_vector<std::complex<T>> lut;  // u16 per-gamma factors
+  for (std::size_t l = 0; l < gammas.size(); ++l) {
+    pipeline::PhaseCtxT<T> ctx;
+    if (use_u16) {
+      diag16.phase_table_into(gammas[l], lut);
+      ctx.codes = diag16.codes();
+      ctx.table = lut.data();
+    } else {
+      ctx.costs = diag.data();
+    }
+    if (red && l + 1 == gammas.size()) {
+      // Final layer: the reduction rides the last pass's write-back, so
+      // the separate full-state expectation sweep never happens.
+      pipeline::run_layer_expectation(plan, amp, n_amps, ctx, gammas[l],
+                                      betas[l], exec, *red, partials);
+    } else {
+      pipeline::run_layer(plan, amp, n_amps, ctx, gammas[l], betas[l],
+                          exec);
+    }
+  }
+}
+
+}  // namespace
 
 StateVector QaoaFastSimulatorBase::simulate_qaoa(
     std::span<const double> gammas, std::span<const double> betas) const {
@@ -50,11 +88,22 @@ std::vector<double> per_layer_expectations(const QaoaFastSimulatorBase& sim,
   return trace;
 }
 
+namespace {
+
+void check_prec_mixer(const FurConfig& cfg) {
+  if (cfg.prec != Precision::F64 && cfg.mixer != MixerType::X)
+    throw std::invalid_argument(
+        "FurQaoaSimulator: prec=f32 supports the X mixer only");
+}
+
+}  // namespace
+
 FurQaoaSimulator::FurQaoaSimulator(const TermList& terms, FurConfig cfg)
     : cfg_(cfg),
       diag_(CostDiagonal::precompute(terms, cfg.exec, cfg.precompute)),
       plan_(pipeline::LayerPlan::build(diag_.num_qubits(), cfg.mixer,
                                        cfg.backend, cfg.pipeline)) {
+  check_prec_mixer(cfg_);
   if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
 }
 
@@ -63,14 +112,16 @@ FurQaoaSimulator::FurQaoaSimulator(CostDiagonal costs, FurConfig cfg)
       diag_(std::move(costs)),
       plan_(pipeline::LayerPlan::build(diag_.num_qubits(), cfg.mixer,
                                        cfg.backend, cfg.pipeline)) {
+  check_prec_mixer(cfg_);
   if (cfg_.use_u16) diag16_ = DiagonalU16::encode(diag_);
 }
 
 StateVector FurQaoaSimulator::initial_state() const {
   const int n = num_qubits();
-  if (cfg_.mixer == MixerType::X) return StateVector::plus_state(n);
+  if (cfg_.mixer == MixerType::X)
+    return StateVector::plus_state(n, cfg_.prec);
   const int k = cfg_.initial_weight >= 0 ? cfg_.initial_weight : n / 2;
-  return StateVector::dicke_state(n, k);
+  return StateVector::dicke_state(n, k, cfg_.prec);
 }
 
 StateVector FurQaoaSimulator::simulate_qaoa_from(
@@ -89,20 +140,15 @@ StateVector FurQaoaSimulator::simulate_qaoa_from(
     // sweep and butterflies run in cache-blocked tiles, cutting full
     // sweeps per layer from n + 1 to plan_.full_sweeps() — bit-identical
     // to the unfused loop below (the traversal changes, the per-amplitude
-    // arithmetic does not).
-    thread_local aligned_vector<cdouble> lut;  // u16 per-gamma factors
-    for (std::size_t l = 0; l < gammas.size(); ++l) {
-      pipeline::PhaseCtx ctx;
-      if (cfg_.use_u16) {
-        diag16_.phase_table_into(gammas[l], lut);
-        ctx.codes = diag16_.codes();
-        ctx.table = lut.data();
-      } else {
-        ctx.costs = diag_.data();
-      }
-      pipeline::run_layer(plan_, state.data(), state.size(), ctx, gammas[l],
-                          betas[l], cfg_.exec);
-    }
+    // arithmetic does not). Dispatch on the state's own precision so a
+    // caller-provided f64 state through an f32 simulator still evolves
+    // correctly (and vice versa).
+    if (state.precision() == Precision::F32)
+      fused_schedule(plan_, state.data_f32(), state.size(), cfg_.use_u16,
+                     diag_, diag16_, gammas, betas, cfg_.exec);
+    else
+      fused_schedule(plan_, state.data(), state.size(), cfg_.use_u16, diag_,
+                     diag16_, gammas, betas, cfg_.exec);
     return state;
   }
   // Algorithm 3, unfused (the pipeline's correctness oracle): per layer,
@@ -145,27 +191,14 @@ double FurQaoaSimulator::simulate_qaoa_expectation(
   thread_local aligned_vector<double> partials;
   partials.assign(state.size() / static_cast<std::uint64_t>(kReduceBlock),
                   0.0);
-  thread_local aligned_vector<cdouble> lut;  // u16 per-gamma factors
-  for (std::size_t l = 0; l < gammas.size(); ++l) {
-    pipeline::PhaseCtx ctx;
-    if (cfg_.use_u16) {
-      diag16_.phase_table_into(gammas[l], lut);
-      ctx.codes = diag16_.codes();
-      ctx.table = lut.data();
-    } else {
-      ctx.costs = diag_.data();
-    }
-    if (l + 1 < gammas.size()) {
-      pipeline::run_layer(plan_, state.data(), state.size(), ctx, gammas[l],
-                          betas[l], cfg_.exec);
-    } else {
-      // Final layer: the reduction rides the last pass's write-back, so
-      // the separate full-state expectation sweep never happens.
-      pipeline::run_layer_expectation(plan_, state.data(), state.size(),
-                                      ctx, gammas[l], betas[l], cfg_.exec,
-                                      red, partials.data());
-    }
-  }
+  if (state.precision() == Precision::F32)
+    fused_schedule(plan_, state.data_f32(), state.size(), cfg_.use_u16,
+                   diag_, diag16_, gammas, betas, cfg_.exec, &red,
+                   partials.data());
+  else
+    fused_schedule(plan_, state.data(), state.size(), cfg_.use_u16, diag_,
+                   diag16_, gammas, betas, cfg_.exec, &red,
+                   partials.data());
   // Sequential sum in block-index order: parallel_reduce_blocks'
   // combination order, hence bit-identical to get_expectation(state).
   double acc = 0.0;

@@ -34,6 +34,11 @@ struct FurConfig {
   /// for X-mixer layers, bit-identical to the unfused loop, which remains
   /// selectable as the oracle via mode = Off or QOKIT_PIPELINE=off.
   pipeline::PipelineOptions pipeline{};
+  /// Amplitude scalar width. F32 halves state memory and DRAM traffic per
+  /// sweep; the diagonal, all angles, and every reduction stay double (see
+  /// DESIGN.md "Mixed precision"). X mixer only — the ctor rejects F32
+  /// with xy mixers.
+  Precision prec = Precision::F64;
 };
 
 /// Abstract QAOA simulator: owns the precomputed cost diagonal and turns
@@ -44,8 +49,14 @@ class QaoaFastSimulatorBase {
 
   virtual int num_qubits() const = 0;
 
+  /// Amplitude precision this simulator evolves states at. The base
+  /// default is F64 so existing backends (gatesim, tn) need no change;
+  /// callers sizing scratch or cache entries (batch, serve) read this
+  /// instead of assuming 16-byte amplitudes.
+  virtual Precision precision() const { return Precision::F64; }
+
   /// Default initial state: |+>^n for the X mixer, the in-sector Dicke
-  /// state for xy mixers.
+  /// state for xy mixers. Built at precision().
   virtual StateVector initial_state() const = 0;
 
   /// Run Algorithm 3 from the default initial state. gammas and betas must
@@ -122,6 +133,7 @@ class FurQaoaSimulator final : public QaoaFastSimulatorBase {
   FurQaoaSimulator(CostDiagonal costs, FurConfig cfg = {});
 
   int num_qubits() const override { return diag_.num_qubits(); }
+  Precision precision() const override { return cfg_.prec; }
   StateVector initial_state() const override;
   StateVector simulate_qaoa_from(StateVector state,
                                  std::span<const double> gammas,

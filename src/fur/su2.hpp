@@ -31,13 +31,17 @@ void su2(cdouble* x, std::uint64_t n_amps, int qubit, const Su2& u, Exec exec);
 
 /// Specialized RX pass: U = e^{-i beta X} with c = cos(beta), s = sin(beta).
 /// Same update as su2 with a = c, b = -i s, written in real arithmetic
-/// (four fused multiply-adds per amplitude pair).
+/// (four fused multiply-adds per amplitude pair). Both amplitude
+/// precisions; the f32 overload feeds the mixed-precision X-mixer path.
 void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec);
+void rx(cfloat* x, std::uint64_t n_amps, int qubit, double c, double s,
         Exec exec);
 
 /// Hadamard pass on one qubit: y0 = (x0 + x1)/sqrt(2), y1 = (x0 - x1)/sqrt(2).
 /// Not special-unitary (det = -1), hence separate from su2.
 void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec);
+void hadamard(cfloat* x, std::uint64_t n_amps, int qubit, Exec exec);
 
 }  // namespace kern
 

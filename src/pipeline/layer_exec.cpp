@@ -47,7 +47,18 @@ const obs::Counter& strided_pass_counter() {
   return c;
 }
 
-using simd::detail::Kernels;
+/// Select the active kernel family for the amplitude scalar. Both share
+/// one dispatch level, so a mixed-precision run never mixes families.
+template <class T>
+const simd::detail::KernelsT<T>& active_family();
+template <>
+const simd::detail::KernelsT<double>& active_family<double>() {
+  return simd::detail::active_kernels();
+}
+template <>
+const simd::detail::KernelsT<float>& active_family<float>() {
+  return simd::detail::active_kernels_f32();
+}
 
 /// Parallelize over independent cache-units. Units touch disjoint
 /// amplitudes and carry no reductions, so any thread count (and Serial)
@@ -70,10 +81,13 @@ void for_units(Exec exec, std::int64_t units, std::int64_t unit_amps, F&& f) {
 /// base and count are whole multiples of kReduceBlock (guaranteed by
 /// can_fuse_expectation), so these are exactly the calls the two-pass
 /// expectation dispatch makes for the same sub-range — same pointers,
-/// same lengths, same kernel family.
-void reduce_piece(const Kernels& k, const cdouble* amp,
-                  const ExpectationCtx& red, std::uint64_t base,
-                  std::uint64_t count, double* partials) {
+/// same lengths, same kernel family. Partials stay double at both
+/// precisions.
+template <class T>
+void reduce_piece(const simd::detail::KernelsT<T>& k,
+                  const std::complex<T>* amp, const ExpectationCtx& red,
+                  std::uint64_t base, std::uint64_t count,
+                  double* partials) {
   const auto block = static_cast<std::uint64_t>(kReduceBlock);
   for (std::uint64_t off = 0; off < count; off += block) {
     const std::uint64_t i = base + off;
@@ -85,8 +99,10 @@ void reduce_piece(const Kernels& k, const cdouble* amp,
 }
 
 /// The diagonal phase on amp[base, base+count), double or u16 path.
-void phase_unit(const Kernels& k, cdouble* amp, const PhaseCtx& ctx,
-                std::uint64_t base, std::uint64_t count, double gamma) {
+template <class T>
+void phase_unit(const simd::detail::KernelsT<T>& k, std::complex<T>* amp,
+                const PhaseCtxT<T>& ctx, std::uint64_t base,
+                std::uint64_t count, double gamma) {
   if (ctx.codes)
     k.phase_table(amp + base, ctx.codes + base, ctx.table, count);
   else
@@ -96,9 +112,10 @@ void phase_unit(const Kernels& k, cdouble* amp, const PhaseCtx& ctx,
 /// One butterfly qubit over the contiguous tile [base, base+count): for
 /// q < log2(count) and base a multiple of count, the pair indices covering
 /// exactly this tile are [base/2, (base+count)/2).
-void butterfly_tile(const Kernels& k, cdouble* amp, std::uint64_t base,
-                    std::uint64_t count, int q, PassButterfly butterfly,
-                    double c, double s) {
+template <class T>
+void butterfly_tile(const simd::detail::KernelsT<T>& k, std::complex<T>* amp,
+                    std::uint64_t base, std::uint64_t count, int q,
+                    PassButterfly butterfly, double c, double s) {
   const std::uint64_t kb = base >> 1;
   const std::uint64_t ke = (base + count) >> 1;
   if (butterfly == PassButterfly::Rx)
@@ -107,10 +124,12 @@ void butterfly_tile(const Kernels& k, cdouble* amp, std::uint64_t base,
     k.hadamard_pairs(amp, q, kb, ke);
 }
 
-void run_tile_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
-                   std::uint64_t n_amps, const PhaseCtx& ctx, double gamma,
-                   const cdouble* pop_table, double c, double s, Exec exec,
-                   const ExpectationCtx* red = nullptr,
+template <class T>
+void run_tile_pass(const simd::detail::KernelsT<T>& k, const LayerPass& p,
+                   std::complex<T>* amp, std::uint64_t n_amps,
+                   const PhaseCtxT<T>& ctx, double gamma,
+                   const std::complex<T>* pop_table, double c, double s,
+                   Exec exec, const ExpectationCtx* red = nullptr,
                    double* partials = nullptr) {
   const std::uint64_t tile =
       std::min<std::uint64_t>(n_amps, 1ull << p.width_log2);
@@ -141,10 +160,11 @@ void run_tile_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
             });
 }
 
-void run_strided_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
-                      std::uint64_t n_amps, const cdouble* pop_table,
-                      double c, double s, Exec exec,
-                      const ExpectationCtx* red = nullptr,
+template <class T>
+void run_strided_pass(const simd::detail::KernelsT<T>& k, const LayerPass& p,
+                      std::complex<T>* amp, std::uint64_t n_amps,
+                      const std::complex<T>* pop_table, double c, double s,
+                      Exec exec, const ExpectationCtx* red = nullptr,
                       double* partials = nullptr) {
   const int a = p.q_begin;
   const int b = p.q_end;
@@ -193,8 +213,9 @@ void run_strided_pass(const Kernels& k, const LayerPass& p, cdouble* amp,
 /// Shared body of run_layer / run_layer_expectation. When `red` is set the
 /// FINAL pass also reduces each unit into `partials` (see the header's
 /// determinism argument).
-void run_layer_impl(const LayerPlan& plan, cdouble* amp,
-                    std::uint64_t n_amps, const PhaseCtx& phase,
+template <class T>
+void run_layer_impl(const LayerPlan& plan, std::complex<T>* amp,
+                    std::uint64_t n_amps, const PhaseCtxT<T>& phase,
                     double gamma, double beta, Exec exec,
                     const ExpectationCtx* red, double* partials) {
   if (!plan.active())
@@ -205,10 +226,10 @@ void run_layer_impl(const LayerPlan& plan, cdouble* amp,
   if (!phase.costs && !(phase.codes && phase.table))
     throw std::invalid_argument(
         "pipeline::run_layer: PhaseCtx needs costs or codes+table");
-  const Kernels& k = simd::detail::active_kernels();
+  const simd::detail::KernelsT<T>& k = active_family<T>();
   const double c = std::cos(beta);
   const double s = std::sin(beta);
-  cdouble pop_table[kMaxQubits + 1];
+  std::complex<T> pop_table[kMaxQubits + 1];
   for (const LayerPass& p : plan.passes())
     if (p.post == PassPhase::Popcount) {
       fill_x_mixer_phase_table(plan.num_qubits(), beta, pop_table);
@@ -237,10 +258,42 @@ void run_layer_impl(const LayerPlan& plan, cdouble* amp,
   }
 }
 
+/// Shared body of run_sweep: butterfly-only passes, no phase source.
+template <class T>
+void run_sweep_impl(const LayerPlan& plan, std::complex<T>* amp,
+                    std::uint64_t n_amps, double c, double s, Exec exec) {
+  if (!plan.active())
+    throw std::logic_error("pipeline::run_sweep: plan is not active: " +
+                           plan.fallback_reason());
+  if (n_amps != (1ull << plan.num_qubits()))
+    throw std::invalid_argument("pipeline::run_sweep: array size mismatch");
+  const simd::detail::KernelsT<T>& k = active_family<T>();
+  const PhaseCtxT<T> no_phase;
+  obs::Span span("pipeline_sweep");
+  span.attr("n", plan.num_qubits());
+  for (const LayerPass& p : plan.passes()) {
+    if (p.strided) {
+      strided_pass_counter().add();
+      run_strided_pass<T>(k, p, amp, n_amps, nullptr, c, s, exec);
+    } else {
+      tile_pass_counter().add();
+      run_tile_pass<T>(k, p, amp, n_amps, no_phase, 0.0, nullptr, c, s,
+                       exec);
+    }
+  }
+}
+
 }  // namespace
 
 void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
                const PhaseCtx& phase, double gamma, double beta, Exec exec) {
+  run_layer_impl(plan, amp, n_amps, phase, gamma, beta, exec, nullptr,
+                 nullptr);
+}
+
+void run_layer(const LayerPlan& plan, cfloat* amp, std::uint64_t n_amps,
+               const PhaseCtxF32& phase, double gamma, double beta,
+               Exec exec) {
   run_layer_impl(plan, amp, n_amps, phase, gamma, beta, exec, nullptr,
                  nullptr);
 }
@@ -279,26 +332,33 @@ void run_layer_expectation(const LayerPlan& plan, cdouble* amp,
                  partials);
 }
 
+void run_layer_expectation(const LayerPlan& plan, cfloat* amp,
+                           std::uint64_t n_amps, const PhaseCtxF32& phase,
+                           double gamma, double beta, Exec exec,
+                           const ExpectationCtx& reduce, double* partials) {
+  if (!can_fuse_expectation(plan, n_amps))
+    throw std::logic_error(
+        "pipeline::run_layer_expectation: plan cannot carry a fused "
+        "expectation (see can_fuse_expectation)");
+  if (!reduce.costs && !reduce.codes)
+    throw std::invalid_argument(
+        "pipeline::run_layer_expectation: ExpectationCtx needs costs or "
+        "codes");
+  static const obs::Counter fused_reductions =
+      obs::counter("qokit_pipeline_fused_reductions_total");
+  fused_reductions.add();
+  run_layer_impl(plan, amp, n_amps, phase, gamma, beta, exec, &reduce,
+                 partials);
+}
+
 void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
                double c, double s, Exec exec) {
-  if (!plan.active())
-    throw std::logic_error("pipeline::run_sweep: plan is not active: " +
-                           plan.fallback_reason());
-  if (n_amps != (1ull << plan.num_qubits()))
-    throw std::invalid_argument("pipeline::run_sweep: array size mismatch");
-  const Kernels& k = simd::detail::active_kernels();
-  const PhaseCtx no_phase;
-  obs::Span span("pipeline_sweep");
-  span.attr("n", plan.num_qubits());
-  for (const LayerPass& p : plan.passes()) {
-    if (p.strided) {
-      strided_pass_counter().add();
-      run_strided_pass(k, p, amp, n_amps, nullptr, c, s, exec);
-    } else {
-      tile_pass_counter().add();
-      run_tile_pass(k, p, amp, n_amps, no_phase, 0.0, nullptr, c, s, exec);
-    }
-  }
+  run_sweep_impl(plan, amp, n_amps, c, s, exec);
+}
+
+void run_sweep(const LayerPlan& plan, cfloat* amp, std::uint64_t n_amps,
+               double c, double s, Exec exec) {
+  run_sweep_impl(plan, amp, n_amps, c, s, exec);
 }
 
 }  // namespace qokit::pipeline

@@ -23,19 +23,32 @@ namespace qokit::pipeline {
 /// source must be set: `costs` for the double-precision diagonal (sliced
 /// at the same offsets as the amplitudes), or `codes` + `table` for the
 /// uint16 codec (table = the per-gamma 65536-entry factor lookup).
-struct PhaseCtx {
+/// Templated on the amplitude scalar: costs and codes stay double/u16 at
+/// both precisions (the f32 path narrows only the per-amplitude factors,
+/// so the table element type follows the amplitudes).
+template <class T>
+struct PhaseCtxT {
   const double* costs = nullptr;
   const std::uint16_t* codes = nullptr;
-  const cdouble* table = nullptr;
+  const std::complex<T>* table = nullptr;
 };
+using PhaseCtx = PhaseCtxT<double>;
+using PhaseCtxF32 = PhaseCtxT<float>;
 
 /// Run one fused QAOA layer (phase by `gamma`, X mixer by `beta`) over
 /// `amp[0, n_amps)`. n_amps must equal 2^plan.num_qubits(); the plan must
 /// be active. `amp` may be a full state or one rank's slice (the
 /// distributed simulator passes its local slice with a plan built for the
-/// local qubit count). Deterministic for any Exec/thread count.
+/// local qubit count). Deterministic for any Exec/thread count — at both
+/// precisions: the f32 overload drives the f32 kernel family over the
+/// identical pass/tile decomposition, so the bit-identity argument above
+/// carries over unchanged (same amplitudes, same groups of 4-or-8, same
+/// per-amplitude arithmetic).
 void run_layer(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
                const PhaseCtx& phase, double gamma, double beta, Exec exec);
+void run_layer(const LayerPlan& plan, cfloat* amp, std::uint64_t n_amps,
+               const PhaseCtxF32& phase, double gamma, double beta,
+               Exec exec);
 
 /// Cost source for the fused expectation reduction (run_layer_expectation).
 /// Exactly one of `costs` (double diagonal) or `codes` (+ offset/scale,
@@ -68,8 +81,14 @@ bool can_fuse_expectation(const LayerPlan& plan, std::uint64_t n_amps);
 /// fused-expectation results bit-identical to running run_layer followed
 /// by expectation_slice / expectation_u16. Requires
 /// can_fuse_expectation(plan, n_amps).
+/// `partials` is double at both precisions (reductions never accumulate
+/// at float width — see DESIGN.md "Mixed precision").
 void run_layer_expectation(const LayerPlan& plan, cdouble* amp,
                            std::uint64_t n_amps, const PhaseCtx& phase,
+                           double gamma, double beta, Exec exec,
+                           const ExpectationCtx& reduce, double* partials);
+void run_layer_expectation(const LayerPlan& plan, cfloat* amp,
+                           std::uint64_t n_amps, const PhaseCtxF32& phase,
                            double gamma, double beta, Exec exec,
                            const ExpectationCtx& reduce, double* partials);
 
@@ -80,6 +99,8 @@ void run_layer_expectation(const LayerPlan& plan, cdouble* amp,
 /// ones. Plans with phase work belong to run_layer; sweep passes carry
 /// none by construction.
 void run_sweep(const LayerPlan& plan, cdouble* amp, std::uint64_t n_amps,
+               double c, double s, Exec exec);
+void run_sweep(const LayerPlan& plan, cfloat* amp, std::uint64_t n_amps,
                double c, double s, Exec exec);
 
 }  // namespace qokit::pipeline

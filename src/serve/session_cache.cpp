@@ -42,26 +42,30 @@ std::uint64_t problem_key(const TermList& terms, const SimulatorSpec& spec) {
   return h;
 }
 
-std::uint64_t session_footprint_bytes(int num_qubits,
-                                      std::size_t num_terms) {
+std::uint64_t session_footprint_bytes(int num_qubits, std::size_t num_terms,
+                                      Precision prec) {
   const std::uint64_t dim = std::uint64_t{1} << num_qubits;
-  // f64 diagonal + three complex-f64 statevectors (cached initial state,
-  // scalar scratch, one batch-pool slot), plus the terms and a fixed
-  // allowance for the plan/object headers.
-  return dim * (8 + 3 * 16) + num_terms * sizeof(Term) + 4096;
+  // f64 diagonal + three statevectors (cached initial state, scalar
+  // scratch, one batch-pool slot) at the session's actual amplitude width
+  // (16 bytes f64, 8 bytes f32), plus the terms and a fixed allowance for
+  // the plan/object headers.
+  return dim * (8 + 3 * amplitude_bytes(prec)) + num_terms * sizeof(Term) +
+         4096;
 }
 
 std::uint64_t session_footprint_bytes(const api::ProblemSession& session) {
   const int n = session.terms().num_qubits();
-  std::uint64_t bytes = session_footprint_bytes(n, session.terms().size());
+  const Precision prec = session.simulator().precision();
+  std::uint64_t bytes =
+      session_footprint_bytes(n, session.terms().size(), prec);
   if (const auto* fur =
           dynamic_cast<const FurQaoaSimulator*>(&session.simulator())) {
     bytes += fur->layer_plan().passes().size() * sizeof(pipeline::LayerPass);
     if (fur->config().use_u16) {
       const std::uint64_t dim = std::uint64_t{1} << n;
-      // uint16 code per amplitude, plus the 65536-entry complex-f64
-      // phase-factor table rebuilt per gamma.
-      bytes += dim * 2 + std::uint64_t{65536} * sizeof(cdouble);
+      // uint16 code per amplitude, plus the 65536-entry phase-factor
+      // table rebuilt per gamma at the amplitude precision.
+      bytes += dim * 2 + std::uint64_t{65536} * amplitude_bytes(prec);
     }
   }
   return bytes;

@@ -49,8 +49,11 @@ std::uint64_t problem_key(const TermList& terms, const SimulatorSpec& spec);
 /// a session owns (f64 diagonal, cached initial state, scalar scratch, and
 /// one batch-pool statevector slot) plus its terms. An estimate, not an
 /// accounting -- it only needs to be monotone in n for LRU pressure to
-/// behave.
-std::uint64_t session_footprint_bytes(int num_qubits, std::size_t num_terms);
+/// behave. The statevector buffers are charged at `prec`'s actual
+/// amplitude width, so an f32 session costs roughly half an f64 one and
+/// the LRU budget admits correspondingly more of them.
+std::uint64_t session_footprint_bytes(int num_qubits, std::size_t num_terms,
+                                      Precision prec = Precision::F64);
 
 /// Footprint of a *built* session: the (n, terms) estimate above plus the
 /// buffers only a live session reveals — the LayerPlan's pass schedule

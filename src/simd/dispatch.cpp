@@ -4,6 +4,11 @@
 // reduction partials are combined sequentially in block order. This is the
 // single place where Exec policy, OpenMP, and the dispatch level meet — the
 // kernel families themselves are branch-free straight-line loops.
+//
+// Both amplitude precisions share one set of templated drivers: the block
+// grid is the same element count at either width, so the deterministic
+// decomposition (and the Serial==Parallel bit-identity it buys) holds per
+// precision by the same argument.
 #include "simd/kernels.hpp"
 
 #include "obs/obs.hpp"
@@ -18,6 +23,13 @@ const Kernels& active_kernels() noexcept {
   if (active_simd_level() == SimdLevel::Avx2) return avx2_kernels;
 #endif
   return scalar_kernels;
+}
+
+const KernelsF32& active_kernels_f32() noexcept {
+#if QOKIT_SIMD_X86
+  if (active_simd_level() == SimdLevel::Avx2) return avx2_kernels_f32;
+#endif
+  return scalar_kernels_f32;
 }
 
 }  // namespace detail
@@ -39,12 +51,25 @@ void count_kernel_call() {
   level.set(avx2 ? 1.0 : 0.0);
 }
 
-}  // namespace
+/// Family selection by amplitude scalar.
+template <class T>
+const detail::KernelsT<T>& active() noexcept;
+template <>
+const detail::KernelsT<double>& active<double>() noexcept {
+  return detail::active_kernels();
+}
+template <>
+const detail::KernelsT<float>& active<float>() noexcept {
+  return detail::active_kernels_f32();
+}
 
-void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
-                       double gamma, Exec exec) {
+// --------------------------------------------------- templated drivers
+
+template <class T>
+void phase_impl(std::complex<T>* amp, const double* costs,
+                std::uint64_t count, double gamma, Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
                         k.phase(amp + b, costs + b,
@@ -52,10 +77,12 @@ void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
                       });
 }
 
-void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
-                       const cdouble* table, std::uint64_t count, Exec exec) {
+template <class T>
+void phase_table_impl(std::complex<T>* amp, const std::uint16_t* codes,
+                      const std::complex<T>* table, std::uint64_t count,
+                      Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
                         k.phase_table(amp + b, codes + b, table,
@@ -63,11 +90,12 @@ void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
                       });
 }
 
-void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
-                          std::uint64_t count, const cdouble* table,
-                          Exec exec) {
+template <class T>
+void phase_popcount_impl(std::complex<T>* amp, std::uint64_t index_base,
+                         std::uint64_t count, const std::complex<T>* table,
+                         Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   parallel_for_blocks(exec, static_cast<std::int64_t>(count), kSimdBlock,
                       [&](std::int64_t b, std::int64_t e) {
                         k.phase_popcount(amp + b, index_base + b,
@@ -76,10 +104,11 @@ void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
                       });
 }
 
-void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
-        Exec exec) {
+template <class T>
+void rx_impl(std::complex<T>* x, std::uint64_t n_amps, int qubit, double c,
+             double s, Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
                       kSimdBlock, [&](std::int64_t b, std::int64_t e) {
                         k.rx_pairs(x, qubit, static_cast<std::uint64_t>(b),
@@ -87,9 +116,11 @@ void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
                       });
 }
 
-void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
+template <class T>
+void hadamard_impl(std::complex<T>* x, std::uint64_t n_amps, int qubit,
+                   Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   parallel_for_blocks(exec, static_cast<std::int64_t>(n_amps >> 1),
                       kSimdBlock, [&](std::int64_t b, std::int64_t e) {
                         k.hadamard_pairs(x, qubit,
@@ -98,10 +129,11 @@ void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
                       });
 }
 
-double expectation_slice(const cdouble* amp, const double* costs,
-                         std::uint64_t count, Exec exec) {
+template <class T>
+double expectation_slice_impl(const std::complex<T>* amp, const double* costs,
+                              std::uint64_t count, Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   // kReduceBlock (not kSimdBlock): the same decomposition the pipeline's
   // fused final-pass reduction reproduces — see parallel.hpp.
   return parallel_reduce_blocks(
@@ -112,11 +144,12 @@ double expectation_slice(const cdouble* amp, const double* costs,
       });
 }
 
-double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
-                       double offset, double scale, std::uint64_t count,
-                       Exec exec) {
+template <class T>
+double expectation_u16_impl(const std::complex<T>* amp,
+                            const std::uint16_t* codes, double offset,
+                            double scale, std::uint64_t count, Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kReduceBlock,
       [&](std::int64_t b, std::int64_t e) {
@@ -125,9 +158,11 @@ double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
       });
 }
 
-double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
+template <class T>
+double norm_squared_impl(const std::complex<T>* amp, std::uint64_t count,
+                         Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,
       [&](std::int64_t b, std::int64_t e) {
@@ -135,16 +170,100 @@ double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
       });
 }
 
-double overlap_ground(const cdouble* amp, const double* costs,
-                      double threshold, std::uint64_t count, Exec exec) {
+template <class T>
+double overlap_ground_impl(const std::complex<T>* amp, const double* costs,
+                           double threshold, std::uint64_t count, Exec exec) {
   count_kernel_call();
-  const detail::Kernels& k = detail::active_kernels();
+  const detail::KernelsT<T>& k = active<T>();
   return parallel_reduce_blocks(
       exec, static_cast<std::int64_t>(count), kSimdBlock,
       [&](std::int64_t b, std::int64_t e) {
         return k.overlap(amp + b, costs + b, threshold,
                          static_cast<std::uint64_t>(e - b));
       });
+}
+
+}  // namespace
+
+void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec) {
+  phase_impl(amp, costs, count, gamma, exec);
+}
+void apply_phase_slice(cfloat* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec) {
+  phase_impl(amp, costs, count, gamma, exec);
+}
+
+void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
+                       const cdouble* table, std::uint64_t count, Exec exec) {
+  phase_table_impl(amp, codes, table, count, exec);
+}
+void apply_phase_table(cfloat* amp, const std::uint16_t* codes,
+                       const cfloat* table, std::uint64_t count, Exec exec) {
+  phase_table_impl(amp, codes, table, count, exec);
+}
+
+void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
+                          std::uint64_t count, const cdouble* table,
+                          Exec exec) {
+  phase_popcount_impl(amp, index_base, count, table, exec);
+}
+void apply_phase_popcount(cfloat* amp, std::uint64_t index_base,
+                          std::uint64_t count, const cfloat* table,
+                          Exec exec) {
+  phase_popcount_impl(amp, index_base, count, table, exec);
+}
+
+void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec) {
+  rx_impl(x, n_amps, qubit, c, s, exec);
+}
+void rx(cfloat* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec) {
+  rx_impl(x, n_amps, qubit, c, s, exec);
+}
+
+void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec) {
+  hadamard_impl(x, n_amps, qubit, exec);
+}
+void hadamard(cfloat* x, std::uint64_t n_amps, int qubit, Exec exec) {
+  hadamard_impl(x, n_amps, qubit, exec);
+}
+
+double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec) {
+  return expectation_slice_impl(amp, costs, count, exec);
+}
+double expectation_slice(const cfloat* amp, const double* costs,
+                         std::uint64_t count, Exec exec) {
+  return expectation_slice_impl(amp, costs, count, exec);
+}
+
+double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
+                       double offset, double scale, std::uint64_t count,
+                       Exec exec) {
+  return expectation_u16_impl(amp, codes, offset, scale, count, exec);
+}
+double expectation_u16(const cfloat* amp, const std::uint16_t* codes,
+                       double offset, double scale, std::uint64_t count,
+                       Exec exec) {
+  return expectation_u16_impl(amp, codes, offset, scale, count, exec);
+}
+
+double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec) {
+  return norm_squared_impl(amp, count, exec);
+}
+double norm_squared(const cfloat* amp, std::uint64_t count, Exec exec) {
+  return norm_squared_impl(amp, count, exec);
+}
+
+double overlap_ground(const cdouble* amp, const double* costs,
+                      double threshold, std::uint64_t count, Exec exec) {
+  return overlap_ground_impl(amp, costs, threshold, count, exec);
+}
+double overlap_ground(const cfloat* amp, const double* costs,
+                      double threshold, std::uint64_t count, Exec exec) {
+  return overlap_ground_impl(amp, costs, threshold, count, exec);
 }
 
 }  // namespace simd

@@ -8,12 +8,22 @@
 // (kernels_avx2.cpp, compiled only under QOKIT_SIMD on x86-64); dispatch is
 // chosen once per process via CPUID (common/cpu_features.hpp).
 //
+// Precision: every kernel exists for both amplitude widths — cdouble (the
+// default and oracle) and cfloat (the bandwidth-halving mixed-precision
+// path, 8 f32 lanes per AVX2 register instead of 4). Costs, angles, phase
+// tables feeding the trig, and EVERY reduction accumulator stay double
+// regardless of the amplitude type: only the amplitude load/store and the
+// complex multiply narrow (the error-containment contract of DESIGN.md
+// "Mixed precision", machine-enforced by qokit_lint's f32-accumulator
+// rule).
+//
 // Parallelism and determinism: the dispatcher decomposes work into fixed
 // kSimdBlock-element blocks (common/parallel.hpp) and hands each block to
 // the active kernel family. Reductions sum per-block partials sequentially
 // in block order. Consequently results depend only on (input, dispatch
-// level) — not on Exec policy or thread count — and the serial and threaded
-// backends stay bit-identical to each other at every dispatch level.
+// level, amplitude precision) — not on Exec policy or thread count — and
+// the serial and threaded backends stay bit-identical to each other at
+// every dispatch level, at either precision.
 //
 // Callers (diagonal/ops.cpp, fur/su2.cpp, fur/fwht.cpp, statevector/
 // state.cpp) keep their public signatures, so the dist:K rank-local slices
@@ -41,80 +51,107 @@ namespace simd {
 /// vectorized sin/cos under AVX2, libm per element in the scalar family.
 void apply_phase_slice(cdouble* amp, const double* costs, std::uint64_t count,
                        double gamma, Exec exec);
+void apply_phase_slice(cfloat* amp, const double* costs, std::uint64_t count,
+                       double gamma, Exec exec);
 
 /// amp[i] *= table[codes[i]]: the u16 diagonal's table-driven phase pass.
 /// `table` must hold one phase factor per possible code (built per gamma).
 void apply_phase_table(cdouble* amp, const std::uint16_t* codes,
                        const cdouble* table, std::uint64_t count, Exec exec);
+void apply_phase_table(cfloat* amp, const std::uint16_t* codes,
+                       const cfloat* table, std::uint64_t count, Exec exec);
 
 /// amp[j] *= table[popcount(index_base + j)]: the Hadamard-frame diagonal of
 /// the FWHT mixer path, with one table entry per Hamming weight.
 void apply_phase_popcount(cdouble* amp, std::uint64_t index_base,
                           std::uint64_t count, const cdouble* table,
                           Exec exec);
+void apply_phase_popcount(cfloat* amp, std::uint64_t index_base,
+                          std::uint64_t count, const cfloat* table,
+                          Exec exec);
 
 /// In-place e^{-i beta X_qubit} butterfly with c = cos(beta), s = sin(beta).
 void rx(cdouble* x, std::uint64_t n_amps, int qubit, double c, double s,
         Exec exec);
+void rx(cfloat* x, std::uint64_t n_amps, int qubit, double c, double s,
+        Exec exec);
 
 /// In-place Hadamard butterfly on one qubit.
 void hadamard(cdouble* x, std::uint64_t n_amps, int qubit, Exec exec);
+void hadamard(cfloat* x, std::uint64_t n_amps, int qubit, Exec exec);
 
-/// sum_i |amp[i]|^2 costs[i].
+/// sum_i |amp[i]|^2 costs[i] (double accumulation at either precision).
 double expectation_slice(const cdouble* amp, const double* costs,
+                         std::uint64_t count, Exec exec);
+double expectation_slice(const cfloat* amp, const double* costs,
                          std::uint64_t count, Exec exec);
 
 /// sum_i |amp[i]|^2 (offset + scale * codes[i]).
 double expectation_u16(const cdouble* amp, const std::uint16_t* codes,
                        double offset, double scale, std::uint64_t count,
                        Exec exec);
+double expectation_u16(const cfloat* amp, const std::uint16_t* codes,
+                       double offset, double scale, std::uint64_t count,
+                       Exec exec);
 
 /// sum_i |amp[i]|^2.
 double norm_squared(const cdouble* amp, std::uint64_t count, Exec exec);
+double norm_squared(const cfloat* amp, std::uint64_t count, Exec exec);
 
 /// sum of |amp[i]|^2 over elements with costs[i] <= threshold.
 double overlap_ground(const cdouble* amp, const double* costs,
                       double threshold, std::uint64_t count, Exec exec);
+double overlap_ground(const cfloat* amp, const double* costs,
+                      double threshold, std::uint64_t count, Exec exec);
 
 namespace detail {
 
-/// One kernel family: block-range entry points the dispatcher drives.
-/// Elementwise/reduction kernels receive already-offset pointers and a
-/// count; butterfly kernels receive the full array plus a pair-index range
-/// [kb, ke) (pair k touches amplitudes insert_zero_bit(k, qubit) and its
-/// partner at stride 2^qubit).
-struct Kernels {
-  void (*phase)(cdouble* amp, const double* costs, std::uint64_t count,
+/// One kernel family at amplitude scalar T: block-range entry points the
+/// dispatcher drives. Elementwise/reduction kernels receive already-offset
+/// pointers and a count; butterfly kernels receive the full array plus a
+/// pair-index range [kb, ke) (pair k touches amplitudes
+/// insert_zero_bit(k, qubit) and its partner at stride 2^qubit). Angles,
+/// costs, and reduction results are double for every T.
+template <class T>
+struct KernelsT {
+  using C = std::complex<T>;
+  void (*phase)(C* amp, const double* costs, std::uint64_t count,
                 double gamma);
-  void (*phase_table)(cdouble* amp, const std::uint16_t* codes,
-                      const cdouble* table, std::uint64_t count);
-  void (*phase_popcount)(cdouble* amp, std::uint64_t index_base,
-                         std::uint64_t count, const cdouble* table);
+  void (*phase_table)(C* amp, const std::uint16_t* codes, const C* table,
+                      std::uint64_t count);
+  void (*phase_popcount)(C* amp, std::uint64_t index_base,
+                         std::uint64_t count, const C* table);
   /// Fused diagonal phase + qubit-0 RX over `count` (even) amplitudes —
   /// the per-amplitude operations of phase followed by rx_pairs(qubit=0),
   /// bit for bit, in one pass over the range.
-  void (*phase_rx)(cdouble* amp, const double* costs, std::uint64_t count,
+  void (*phase_rx)(C* amp, const double* costs, std::uint64_t count,
                    double gamma, double c, double s);
-  void (*rx_pairs)(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
+  void (*rx_pairs)(C* x, int qubit, std::uint64_t kb, std::uint64_t ke,
                    double c, double s);
-  void (*hadamard_pairs)(cdouble* x, int qubit, std::uint64_t kb,
+  void (*hadamard_pairs)(C* x, int qubit, std::uint64_t kb,
                          std::uint64_t ke);
-  double (*expectation)(const cdouble* amp, const double* costs,
+  double (*expectation)(const C* amp, const double* costs,
                         std::uint64_t count);
-  double (*expectation_u16)(const cdouble* amp, const std::uint16_t* codes,
+  double (*expectation_u16)(const C* amp, const std::uint16_t* codes,
                             double offset, double scale, std::uint64_t count);
-  double (*norm_squared)(const cdouble* amp, std::uint64_t count);
-  double (*overlap)(const cdouble* amp, const double* costs, double threshold,
+  double (*norm_squared)(const C* amp, std::uint64_t count);
+  double (*overlap)(const C* amp, const double* costs, double threshold,
                     std::uint64_t count);
 };
 
+using Kernels = KernelsT<double>;
+using KernelsF32 = KernelsT<float>;
+
 extern const Kernels scalar_kernels;
+extern const KernelsF32 scalar_kernels_f32;
 #if QOKIT_SIMD_X86
 extern const Kernels avx2_kernels;
+extern const KernelsF32 avx2_kernels_f32;
 #endif
 
 /// Family for the current active_simd_level().
 const Kernels& active_kernels() noexcept;
+const KernelsF32& active_kernels_f32() noexcept;
 
 }  // namespace detail
 }  // namespace simd

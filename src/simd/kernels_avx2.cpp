@@ -406,6 +406,312 @@ double overlap_avx2(const cdouble* amp, const double* costs, double threshold,
   return out;
 }
 
+// ===================================================== f32 family
+// Interleaved packed complex64 layout: one __m256 holds four complexes
+// [r0, i0, r1, i1, r2, i2, r3, i3] — twice the f64 register density, half
+// the bytes per pass. Angle math runs through the same double-precision
+// sincos4 above and narrows once to float; reductions widen each 128-bit
+// half back to double with cvtps_pd and reuse the f64 accumulation
+// structure, so every reduction is double end to end (the error-
+// containment contract). Tails and odd remainders delegate to the scalar
+// f32 family, mirroring the f64 policy.
+
+/// Sign mask flipping the odd (imaginary-slot) float lanes.
+inline __m256 neg_odd_ps() {
+  return _mm256_setr_ps(0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f);
+}
+
+/// (a * f) for interleaved a and per-complex broadcast halves
+/// f_re = [c0,c0,c1,c1,...], f_im = [s0,s0,s1,s1,...].
+inline __m256 cmul_bcast_ps(__m256 a, __m256 f_re, __m256 f_im) {
+  const __m256 a_sw = _mm256_permute_ps(a, 0xB1);  // [im, re] per complex
+  return _mm256_fmaddsub_ps(a, f_re, _mm256_mul_ps(a_sw, f_im));
+}
+
+/// Narrow four double factors [f0,f1,f2,f3] to float and spread each into
+/// its complex's two lanes: [f0,f0,f1,f1,f2,f2,f3,f3].
+inline __m256 spread4_ps(__m256d v) {
+  const __m128 v4 = _mm256_cvtpd_ps(v);
+  const __m256i idx = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+  return _mm256_permutevar8x32_ps(_mm256_set_m128(v4, v4), idx);
+}
+
+void phase_scalar_tail_f32(cfloat* amp, const double* costs,
+                           std::uint64_t count, double gamma) {
+  if (count) detail::scalar_kernels_f32.phase(amp, costs, count, gamma);
+}
+
+void phase_avx2_f32(cfloat* amp, const double* costs, std::uint64_t count,
+                    double gamma) {
+  float* d = reinterpret_cast<float*>(amp);
+  const __m256d vng = _mm256_set1_pd(-gamma);
+  const __m256d vhuge = _mm256_set1_pd(kHugeAngle);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d ang = _mm256_mul_pd(vng, _mm256_loadu_pd(costs + i));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(_mm256_and_pd(ang, abs_mask), vhuge,
+                                         _CMP_GT_OQ))) {
+      phase_scalar_tail_f32(amp + i, costs + i, 4, gamma);
+      continue;
+    }
+    __m256d vs, vc;
+    sincos4(ang, &vs, &vc);
+    const __m256 a = _mm256_loadu_ps(d + 2 * i);
+    _mm256_storeu_ps(d + 2 * i,
+                     cmul_bcast_ps(a, spread4_ps(vc), spread4_ps(vs)));
+  }
+  phase_scalar_tail_f32(amp + i, costs + i, count - i, gamma);
+}
+
+void phase_rx_avx2_f32(cfloat* amp, const double* costs, std::uint64_t count,
+                       double gamma, double c, double s) {
+  // Fused phase + qubit-0 RX, two pairs per register. The cross-partner
+  // operand [i1, -r1, i0, -r0] is a within-lane reversal + sign, so the
+  // butterfly never crosses the 128-bit boundary.
+  float* d = reinterpret_cast<float*>(amp);
+  const __m256d vng = _mm256_set1_pd(-gamma);
+  const __m256d vhuge = _mm256_set1_pd(kHugeAngle);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  const __m256 vc = _mm256_set1_ps(static_cast<float>(c));
+  const __m256 vs = _mm256_set1_ps(static_cast<float>(s));
+  const __m256 nodd = neg_odd_ps();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256 p;
+    const __m256d ang = _mm256_mul_pd(vng, _mm256_loadu_pd(costs + i));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(_mm256_and_pd(ang, abs_mask), vhuge,
+                                         _CMP_GT_OQ))) {
+      phase_scalar_tail_f32(amp + i, costs + i, 4, gamma);
+      p = _mm256_loadu_ps(d + 2 * i);
+    } else {
+      __m256d vsin, vcos;
+      sincos4(ang, &vsin, &vcos);
+      p = cmul_bcast_ps(_mm256_loadu_ps(d + 2 * i), spread4_ps(vcos),
+                        spread4_ps(vsin));
+    }
+    const __m256 m = _mm256_xor_ps(_mm256_permute_ps(p, 0x1B), nodd);
+    _mm256_storeu_ps(d + 2 * i,
+                     _mm256_fmadd_ps(vc, p, _mm256_mul_ps(vs, m)));
+  }
+  // count % 4 == 2: one pair left; the scalar family fuses it whole.
+  if (i < count)
+    detail::scalar_kernels_f32.phase_rx(amp + i, costs + i, count - i, gamma,
+                                        c, s);
+}
+
+/// Four complex64 factors gathered into [re0,im0,...,re3,im3].
+inline __m256 load_factor4_ps(const cfloat* f0, const cfloat* f1,
+                              const cfloat* f2, const cfloat* f3) {
+  const __m128d lo = _mm_loadh_pd(
+      _mm_load_sd(reinterpret_cast<const double*>(f0)),
+      reinterpret_cast<const double*>(f1));
+  const __m128d hi = _mm_loadh_pd(
+      _mm_load_sd(reinterpret_cast<const double*>(f2)),
+      reinterpret_cast<const double*>(f3));
+  return _mm256_set_m128(_mm_castpd_ps(hi), _mm_castpd_ps(lo));
+}
+
+/// amp[i..i+3] *= f_0..3 for four complexes, factors fetched by the caller.
+inline void table_mul4_ps(float* d, std::uint64_t i, __m256 f) {
+  const __m256 f_re = _mm256_moveldup_ps(f);  // [re0, re0, re1, re1, ...]
+  const __m256 f_im = _mm256_movehdup_ps(f);  // [im0, im0, im1, im1, ...]
+  const __m256 a = _mm256_loadu_ps(d + 2 * i);
+  _mm256_storeu_ps(d + 2 * i, cmul_bcast_ps(a, f_re, f_im));
+}
+
+void phase_table_avx2_f32(cfloat* amp, const std::uint16_t* codes,
+                          const cfloat* table, std::uint64_t count) {
+  float* d = reinterpret_cast<float*>(amp);
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4)
+    table_mul4_ps(d, i,
+                  load_factor4_ps(table + codes[i], table + codes[i + 1],
+                                  table + codes[i + 2], table + codes[i + 3]));
+  for (; i < count; ++i) amp[i] *= table[codes[i]];
+}
+
+void phase_popcount_avx2_f32(cfloat* amp, std::uint64_t index_base,
+                             std::uint64_t count, const cfloat* table) {
+  float* d = reinterpret_cast<float*>(amp);
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4)
+    table_mul4_ps(d, i,
+                  load_factor4_ps(table + popcount(index_base + i),
+                                  table + popcount(index_base + i + 1),
+                                  table + popcount(index_base + i + 2),
+                                  table + popcount(index_base + i + 3)));
+  for (; i < count; ++i) amp[i] *= table[popcount(index_base + i)];
+}
+
+void rx_pairs_avx2_f32(cfloat* x, int qubit, std::uint64_t kb,
+                       std::uint64_t ke, double c, double s) {
+  const __m256 vc = _mm256_set1_ps(static_cast<float>(c));
+  const __m256 vs = _mm256_set1_ps(static_cast<float>(s));
+  const __m256 nodd = neg_odd_ps();
+  float* d = reinterpret_cast<float*>(x);
+  if (qubit == 0) {
+    // Two pairs per register; each pair is one 128-bit lane [r0,i0,r1,i1]
+    // whose cross-partner operand is a within-lane reversal + sign.
+    std::uint64_t k = kb;
+    for (; k + 2 <= ke; k += 2) {
+      const __m256 a = _mm256_loadu_ps(d + 4 * k);
+      const __m256 m = _mm256_xor_ps(_mm256_permute_ps(a, 0x1B), nodd);
+      _mm256_storeu_ps(d + 4 * k,
+                       _mm256_fmadd_ps(vc, a, _mm256_mul_ps(vs, m)));
+    }
+    if (k < ke) detail::scalar_kernels_f32.rx_pairs(x, qubit, k, ke, c, s);
+    return;
+  }
+  // qubit >= 1: pairs form two contiguous streams of `stride` amplitudes.
+  const std::uint64_t stride = 1ull << qubit;
+  std::uint64_t k = kb;
+  while (k < ke) {
+    const std::uint64_t off = k & (stride - 1);
+    const std::uint64_t run = std::min(ke - k, stride - off);
+    float* p0 = reinterpret_cast<float*>(x + insert_zero_bit(k, qubit));
+    float* p1 = p0 + 2 * stride;
+    std::uint64_t j = 0;
+    for (; j + 4 <= run; j += 4) {
+      const __m256 a = _mm256_loadu_ps(p0 + 2 * j);
+      const __m256 b = _mm256_loadu_ps(p1 + 2 * j);
+      const __m256 mb = _mm256_xor_ps(_mm256_permute_ps(b, 0xB1), nodd);
+      const __m256 ma = _mm256_xor_ps(_mm256_permute_ps(a, 0xB1), nodd);
+      _mm256_storeu_ps(p0 + 2 * j,
+                       _mm256_fmadd_ps(vc, a, _mm256_mul_ps(vs, mb)));
+      _mm256_storeu_ps(p1 + 2 * j,
+                       _mm256_fmadd_ps(vc, b, _mm256_mul_ps(vs, ma)));
+    }
+    if (j < run)
+      detail::scalar_kernels_f32.rx_pairs(x, qubit, k + j, k + run, c, s);
+    k += run;
+  }
+}
+
+void hadamard_pairs_avx2_f32(cfloat* x, int qubit, std::uint64_t kb,
+                             std::uint64_t ke) {
+  constexpr float kInvSqrt2f = 0.70710678118654752440f;
+  const __m256 vk = _mm256_set1_ps(kInvSqrt2f);
+  float* d = reinterpret_cast<float*>(x);
+  if (qubit == 0) {
+    std::uint64_t k = kb;
+    for (; k + 2 <= ke; k += 2) {
+      const __m256 a = _mm256_loadu_ps(d + 4 * k);
+      // Swap the two complexes within each lane; blend keeps x0 + x1 in
+      // the low complex and takes x0 - x1 (partner-first b - a) in the
+      // high one.
+      const __m256 b = _mm256_permute_ps(a, 0x4E);
+      const __m256 out = _mm256_blend_ps(_mm256_add_ps(a, b),
+                                         _mm256_sub_ps(b, a), 0xCC);
+      _mm256_storeu_ps(d + 4 * k, _mm256_mul_ps(out, vk));
+    }
+    if (k < ke) detail::scalar_kernels_f32.hadamard_pairs(x, qubit, k, ke);
+    return;
+  }
+  const std::uint64_t stride = 1ull << qubit;
+  std::uint64_t k = kb;
+  while (k < ke) {
+    const std::uint64_t off = k & (stride - 1);
+    const std::uint64_t run = std::min(ke - k, stride - off);
+    float* p0 = reinterpret_cast<float*>(x + insert_zero_bit(k, qubit));
+    float* p1 = p0 + 2 * stride;
+    std::uint64_t j = 0;
+    for (; j + 4 <= run; j += 4) {
+      const __m256 a = _mm256_loadu_ps(p0 + 2 * j);
+      const __m256 b = _mm256_loadu_ps(p1 + 2 * j);
+      _mm256_storeu_ps(p0 + 2 * j, _mm256_mul_ps(_mm256_add_ps(a, b), vk));
+      _mm256_storeu_ps(p1 + 2 * j, _mm256_mul_ps(_mm256_sub_ps(a, b), vk));
+    }
+    if (j < run)
+      detail::scalar_kernels_f32.hadamard_pairs(x, qubit, k + j, k + run);
+    k += run;
+  }
+}
+
+// f32 reductions: widen each 128-bit half of the four loaded complexes to
+// double with cvtps_pd, then reuse the f64 norms4/hsum structure — the
+// accumulator registers are __m256d, so nothing aggregates at float.
+
+inline __m256d norms4_f32(const float* d, std::uint64_t i) {
+  const __m256 a = _mm256_loadu_ps(d + 2 * i);
+  const __m256d a01 = _mm256_cvtps_pd(_mm256_castps256_ps128(a));
+  const __m256d a23 = _mm256_cvtps_pd(_mm256_extractf128_ps(a, 1));
+  return _mm256_hadd_pd(_mm256_mul_pd(a01, a01), _mm256_mul_pd(a23, a23));
+}
+
+/// Scalar-tail |amp|^2 with the components widened to double first.
+inline double norm_widened_f32(cfloat a) {
+  const double re = a.real(), im = a.imag();
+  return re * re + im * im;
+}
+
+double expectation_avx2_f32(const cfloat* amp, const double* costs,
+                            std::uint64_t count) {
+  const float* d = reinterpret_cast<const float*>(amp);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d cp =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(costs + i), 0xD8);
+    acc = _mm256_fmadd_pd(norms4_f32(d, i), cp, acc);
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i) out += norm_widened_f32(amp[i]) * costs[i];
+  return out;
+}
+
+double expectation_u16_avx2_f32(const cfloat* amp, const std::uint16_t* codes,
+                                double offset, double scale,
+                                std::uint64_t count) {
+  const float* d = reinterpret_cast<const float*>(amp);
+  const __m256d voff = _mm256_set1_pd(offset);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i c16 = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(codes + i));
+    const __m256d vals = _mm256_fmadd_pd(
+        vscale, _mm256_cvtepi32_pd(_mm_cvtepu16_epi32(c16)), voff);
+    acc = _mm256_fmadd_pd(norms4_f32(d, i),
+                          _mm256_permute4x64_pd(vals, 0xD8), acc);
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i)
+    out += norm_widened_f32(amp[i]) * (offset + scale * codes[i]);
+  return out;
+}
+
+double norm_squared_avx2_f32(const cfloat* amp, std::uint64_t count) {
+  const float* d = reinterpret_cast<const float*>(amp);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) acc = _mm256_add_pd(acc, norms4_f32(d, i));
+  double out = hsum(acc);
+  for (; i < count; ++i) out += norm_widened_f32(amp[i]);
+  return out;
+}
+
+double overlap_avx2_f32(const cfloat* amp, const double* costs,
+                        double threshold, std::uint64_t count) {
+  const float* d = reinterpret_cast<const float*>(amp);
+  const __m256d vthr = _mm256_set1_pd(threshold);
+  __m256d acc = _mm256_setzero_pd();
+  std::uint64_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d cp =
+        _mm256_permute4x64_pd(_mm256_loadu_pd(costs + i), 0xD8);
+    const __m256d mask = _mm256_cmp_pd(cp, vthr, _CMP_LE_OQ);
+    acc = _mm256_add_pd(acc, _mm256_and_pd(norms4_f32(d, i), mask));
+  }
+  double out = hsum(acc);
+  for (; i < count; ++i)
+    if (costs[i] <= threshold) out += norm_widened_f32(amp[i]);
+  return out;
+}
+
 }  // namespace
 
 namespace detail {
@@ -421,6 +727,19 @@ const Kernels avx2_kernels = {
     .expectation_u16 = expectation_u16_avx2,
     .norm_squared = norm_squared_avx2,
     .overlap = overlap_avx2,
+};
+
+const KernelsF32 avx2_kernels_f32 = {
+    .phase = phase_avx2_f32,
+    .phase_table = phase_table_avx2_f32,
+    .phase_popcount = phase_popcount_avx2_f32,
+    .phase_rx = phase_rx_avx2_f32,
+    .rx_pairs = rx_pairs_avx2_f32,
+    .hadamard_pairs = hadamard_pairs_avx2_f32,
+    .expectation = expectation_avx2_f32,
+    .expectation_u16 = expectation_u16_avx2_f32,
+    .norm_squared = norm_squared_avx2_f32,
+    .overlap = overlap_avx2_f32,
 };
 
 }  // namespace detail

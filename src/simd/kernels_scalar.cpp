@@ -1,10 +1,18 @@
 // Scalar kernel family: portable reference implementations of the block
-// kernels in simd/kernels.hpp. These are the exact loops the simulators ran
-// before the SIMD layer existed, reshaped into block-range form, and they
-// double as the correctness oracle for the vectorized families (the parity
-// suite asserts agreement within 1e-12 per amplitude).
+// kernels in simd/kernels.hpp, templated on the amplitude scalar. These are
+// the exact loops the simulators ran before the SIMD layer existed,
+// reshaped into block-range form, and they double as the correctness oracle
+// for the vectorized families (the parity suite asserts agreement within
+// 1e-12 per amplitude for f64, 2e-6 for f32).
+//
+// Precision containment: at T = float the phase angle and its sin/cos are
+// still computed in double (one rounding on the narrow to float), the
+// butterfly coefficients c/s narrow once before the loop, and every
+// reduction accumulates in double — only the amplitude arithmetic itself
+// runs at T.
 #include <cmath>
 #include <complex>
+#include <type_traits>
 
 #include "common/bitops.hpp"
 #include "simd/kernels.hpp"
@@ -13,106 +21,134 @@ namespace qokit {
 namespace simd {
 namespace {
 
-void phase_scalar(cdouble* amp, const double* costs, std::uint64_t count,
-                  double gamma) {
+template <class T>
+void phase_scalar(std::complex<T>* amp, const double* costs,
+                  std::uint64_t count, double gamma) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const double ang = -gamma * costs[i];
-    amp[i] *= cdouble(std::cos(ang), std::sin(ang));
+    amp[i] *= std::complex<T>(static_cast<T>(std::cos(ang)),
+                              static_cast<T>(std::sin(ang)));
   }
 }
 
-void phase_table_scalar(cdouble* amp, const std::uint16_t* codes,
-                        const cdouble* table, std::uint64_t count) {
+template <class T>
+void phase_table_scalar(std::complex<T>* amp, const std::uint16_t* codes,
+                        const std::complex<T>* table, std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) amp[i] *= table[codes[i]];
 }
 
-void phase_popcount_scalar(cdouble* amp, std::uint64_t index_base,
-                           std::uint64_t count, const cdouble* table) {
+template <class T>
+void phase_popcount_scalar(std::complex<T>* amp, std::uint64_t index_base,
+                           std::uint64_t count, const std::complex<T>* table) {
   for (std::uint64_t i = 0; i < count; ++i)
     amp[i] *= table[popcount(index_base + i)];
 }
 
-void phase_rx_scalar(cdouble* amp, const double* costs, std::uint64_t count,
-                     double gamma, double c, double s) {
+template <class T>
+void phase_rx_scalar(std::complex<T>* amp, const double* costs,
+                     std::uint64_t count, double gamma, double c, double s) {
   // Per adjacent pair: the exact statements of phase_scalar on both
   // amplitudes, then the exact qubit-0 update of rx_pairs_scalar — same
   // per-op rounding (this TU has no FMA contraction to drift), one pass.
-  double* d = reinterpret_cast<double*>(amp);
+  T* d = reinterpret_cast<T*>(amp);
+  const T tc = static_cast<T>(c);
+  const T ts = static_cast<T>(s);
   for (std::uint64_t k = 0; 2 * k < count; ++k) {
     for (std::uint64_t i = 2 * k; i < 2 * k + 2; ++i) {
       const double ang = -gamma * costs[i];
-      amp[i] *= cdouble(std::cos(ang), std::sin(ang));
+      amp[i] *= std::complex<T>(static_cast<T>(std::cos(ang)),
+                                static_cast<T>(std::sin(ang)));
     }
     const std::uint64_t i0 = 4 * k;
-    const double x0re = d[i0], x0im = d[i0 + 1];
-    const double x1re = d[i0 + 2], x1im = d[i0 + 3];
-    d[i0] = c * x0re + s * x1im;
-    d[i0 + 1] = c * x0im - s * x1re;
-    d[i0 + 2] = c * x1re + s * x0im;
-    d[i0 + 3] = c * x1im - s * x0re;
+    const T x0re = d[i0], x0im = d[i0 + 1];
+    const T x1re = d[i0 + 2], x1im = d[i0 + 3];
+    d[i0] = tc * x0re + ts * x1im;
+    d[i0 + 1] = tc * x0im - ts * x1re;
+    d[i0 + 2] = tc * x1re + ts * x0im;
+    d[i0 + 3] = tc * x1im - ts * x0re;
   }
 }
 
-void rx_pairs_scalar(cdouble* x, int qubit, std::uint64_t kb, std::uint64_t ke,
-                     double c, double s) {
+template <class T>
+void rx_pairs_scalar(std::complex<T>* x, int qubit, std::uint64_t kb,
+                     std::uint64_t ke, double c, double s) {
   // e^{-i beta X}: y0 = c x0 - i s x1, y1 = -i s x0 + c x1. In real
   // arithmetic on re/im parts this is four FMAs per pair.
-  double* d = reinterpret_cast<double*>(x);
+  T* d = reinterpret_cast<T*>(x);
+  const T tc = static_cast<T>(c);
+  const T ts = static_cast<T>(s);
   const std::uint64_t stride = 1ull << qubit;
   for (std::uint64_t k = kb; k < ke; ++k) {
     const std::uint64_t i0 = insert_zero_bit(k, qubit) << 1;
     const std::uint64_t i1 = i0 + (stride << 1);
-    const double x0re = d[i0], x0im = d[i0 + 1];
-    const double x1re = d[i1], x1im = d[i1 + 1];
-    d[i0] = c * x0re + s * x1im;
-    d[i0 + 1] = c * x0im - s * x1re;
-    d[i1] = c * x1re + s * x0im;
-    d[i1 + 1] = c * x1im - s * x0re;
+    const T x0re = d[i0], x0im = d[i0 + 1];
+    const T x1re = d[i1], x1im = d[i1 + 1];
+    d[i0] = tc * x0re + ts * x1im;
+    d[i0 + 1] = tc * x0im - ts * x1re;
+    d[i1] = tc * x1re + ts * x0im;
+    d[i1 + 1] = tc * x1im - ts * x0re;
   }
 }
 
-void hadamard_pairs_scalar(cdouble* x, int qubit, std::uint64_t kb,
+template <class T>
+void hadamard_pairs_scalar(std::complex<T>* x, int qubit, std::uint64_t kb,
                            std::uint64_t ke) {
-  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  constexpr T kInvSqrt2 = static_cast<T>(0.70710678118654752440);
   const std::uint64_t stride = 1ull << qubit;
   for (std::uint64_t k = kb; k < ke; ++k) {
     const std::uint64_t i0 = insert_zero_bit(k, qubit);
     const std::uint64_t i1 = i0 | stride;
-    const cdouble x0 = x[i0];
-    const cdouble x1 = x[i1];
+    const std::complex<T> x0 = x[i0];
+    const std::complex<T> x1 = x[i1];
     x[i0] = (x0 + x1) * kInvSqrt2;
     x[i1] = (x0 - x1) * kInvSqrt2;
   }
 }
 
-double expectation_scalar(const cdouble* amp, const double* costs,
+/// |amp[i]|^2 widened to double before the squares — the one sanctioned
+/// pattern for touching f32 amplitudes in a reduction.
+template <class T>
+inline double norm_widened(const std::complex<T>& a) {
+  if constexpr (std::is_same_v<T, double>) {
+    return std::norm(a);
+  } else {
+    const double re = a.real(), im = a.imag();
+    return re * re + im * im;
+  }
+}
+
+template <class T>
+double expectation_scalar(const std::complex<T>* amp, const double* costs,
                           std::uint64_t count) {
   double acc = 0.0;
   for (std::uint64_t i = 0; i < count; ++i)
-    acc += std::norm(amp[i]) * costs[i];
+    acc += norm_widened(amp[i]) * costs[i];
   return acc;
 }
 
-double expectation_u16_scalar(const cdouble* amp, const std::uint16_t* codes,
-                              double offset, double scale,
-                              std::uint64_t count) {
+template <class T>
+double expectation_u16_scalar(const std::complex<T>* amp,
+                              const std::uint16_t* codes, double offset,
+                              double scale, std::uint64_t count) {
   double acc = 0.0;
   for (std::uint64_t i = 0; i < count; ++i)
-    acc += std::norm(amp[i]) * (offset + scale * codes[i]);
+    acc += norm_widened(amp[i]) * (offset + scale * codes[i]);
   return acc;
 }
 
-double norm_squared_scalar(const cdouble* amp, std::uint64_t count) {
+template <class T>
+double norm_squared_scalar(const std::complex<T>* amp, std::uint64_t count) {
   double acc = 0.0;
-  for (std::uint64_t i = 0; i < count; ++i) acc += std::norm(amp[i]);
+  for (std::uint64_t i = 0; i < count; ++i) acc += norm_widened(amp[i]);
   return acc;
 }
 
-double overlap_scalar(const cdouble* amp, const double* costs,
+template <class T>
+double overlap_scalar(const std::complex<T>* amp, const double* costs,
                       double threshold, std::uint64_t count) {
   double acc = 0.0;
   for (std::uint64_t i = 0; i < count; ++i)
-    if (costs[i] <= threshold) acc += std::norm(amp[i]);
+    if (costs[i] <= threshold) acc += norm_widened(amp[i]);
   return acc;
 }
 
@@ -121,16 +157,29 @@ double overlap_scalar(const cdouble* amp, const double* costs,
 namespace detail {
 
 const Kernels scalar_kernels = {
-    .phase = phase_scalar,
-    .phase_table = phase_table_scalar,
-    .phase_popcount = phase_popcount_scalar,
-    .phase_rx = phase_rx_scalar,
-    .rx_pairs = rx_pairs_scalar,
-    .hadamard_pairs = hadamard_pairs_scalar,
-    .expectation = expectation_scalar,
-    .expectation_u16 = expectation_u16_scalar,
-    .norm_squared = norm_squared_scalar,
-    .overlap = overlap_scalar,
+    .phase = phase_scalar<double>,
+    .phase_table = phase_table_scalar<double>,
+    .phase_popcount = phase_popcount_scalar<double>,
+    .phase_rx = phase_rx_scalar<double>,
+    .rx_pairs = rx_pairs_scalar<double>,
+    .hadamard_pairs = hadamard_pairs_scalar<double>,
+    .expectation = expectation_scalar<double>,
+    .expectation_u16 = expectation_u16_scalar<double>,
+    .norm_squared = norm_squared_scalar<double>,
+    .overlap = overlap_scalar<double>,
+};
+
+const KernelsF32 scalar_kernels_f32 = {
+    .phase = phase_scalar<float>,
+    .phase_table = phase_table_scalar<float>,
+    .phase_popcount = phase_popcount_scalar<float>,
+    .phase_rx = phase_rx_scalar<float>,
+    .rx_pairs = rx_pairs_scalar<float>,
+    .hadamard_pairs = hadamard_pairs_scalar<float>,
+    .expectation = expectation_scalar<float>,
+    .expectation_u16 = expectation_u16_scalar<float>,
+    .norm_squared = norm_squared_scalar<float>,
+    .overlap = overlap_scalar<float>,
 };
 
 }  // namespace detail

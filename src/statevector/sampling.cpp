@@ -23,11 +23,26 @@ StateSampler::StateSampler(const StateVector& sv) {
   span.attr("n", sv.num_qubits());
   cumulative_.resize(sv.size());
   double acc = 0.0;
-  for (std::uint64_t x = 0; x < sv.size(); ++x) {
-    const double p = std::norm(sv[x]);
-    if (p > 0.0) last_nonzero_ = x;
-    acc += p;
-    cumulative_[x] = acc;
+  if (sv.precision() == Precision::F32) {
+    // The CDF accumulates in double regardless of the amplitude width:
+    // each |amp|^2 is formed from re/im widened to double first, so the
+    // running sum never loses mass to float cancellation and the
+    // inverse-CDF clamp semantics below are identical at both precisions.
+    const cfloat* amp = sv.data_f32();
+    for (std::uint64_t x = 0; x < sv.size(); ++x) {
+      const double re = amp[x].real(), im = amp[x].imag();
+      const double p = re * re + im * im;
+      if (p > 0.0) last_nonzero_ = x;
+      acc += p;
+      cumulative_[x] = acc;
+    }
+  } else {
+    for (std::uint64_t x = 0; x < sv.size(); ++x) {
+      const double p = std::norm(sv[x]);
+      if (p > 0.0) last_nonzero_ = x;
+      acc += p;
+      cumulative_[x] = acc;
+    }
   }
   if (acc <= 0.0)
     throw std::invalid_argument("StateSampler: zero-norm state");

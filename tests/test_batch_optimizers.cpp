@@ -178,8 +178,10 @@ TEST(BatchOptimizers, OptimizeQaoaApiMatchesManualBatchedRun) {
   opts.max_evals = 60;
   const auto outcome = api::optimize_qaoa(terms, 2, opts, "serial");
 
-  const FurQaoaSimulator sim(terms, {.exec = Exec::Serial});
-  const QaoaBatchObjective objective(sim, 2);
+  // Same factory spelling as the api:: call above, so both sides resolve
+  // identical configuration (including prec=auto) and stay bit-equal.
+  const auto sim = choose_simulator(terms, "serial");
+  const QaoaBatchObjective objective(*sim, 2);
   const OptResult manual = nelder_mead_batched(
       [&objective](const std::vector<std::vector<double>>& points) {
         return objective(points);

@@ -170,6 +170,55 @@ TEST_P(SessionLegacyAgreementTest, SessionApiIsBitIdenticalToFreeFunctions) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionLegacyAgreementTest,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+class PrecisionAgreementTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrecisionAgreementTest, F32BackendsTrackTheirF64Twins) {
+  // The mixed-precision matrix: every f32-capable backend spelling, run
+  // at both precisions on the same random problem and schedule. The f32
+  // run must stay within a pinned drift tolerance of its own f64 twin
+  // (same backend, so the comparison isolates the amplitude width), the
+  // double-accumulated objectives must agree to reduction scale, and the
+  // f32 bits themselves must be Exec-independent. Explicit prec= tokens
+  // keep the test meaningful under a QOKIT_PREC=f32 environment leg.
+  const std::uint64_t seed = GetParam();
+  int n = 0;
+  const TermList terms = random_problem(seed, &n);
+  if (terms.num_qubits() < 2) GTEST_SKIP();
+  const auto [g, b] = random_schedule(seed, 1 + static_cast<int>(seed % 3));
+
+  StateVector serial_f32;  // kept for the cross-backend bit-identity check
+  for (const char* name : {"serial", "threaded", "u16", "fwht", "dist:2"}) {
+    SCOPED_TRACE(name);
+    const std::string base(name);
+    const auto sim64 =
+        make_simulator(terms, SimulatorSpec::parse(base + ":prec=f64"));
+    const auto sim32 =
+        make_simulator(terms, SimulatorSpec::parse(base + ":prec=f32"));
+    ASSERT_EQ(sim64->precision(), Precision::F64);
+    ASSERT_EQ(sim32->precision(), Precision::F32);
+    const StateVector r64 = sim64->simulate_qaoa(g, b);
+    const StateVector r32 = sim32->simulate_qaoa(g, b);
+    EXPECT_EQ(r32.precision(), Precision::F32);
+    EXPECT_LT(r32.max_abs_diff(r64), 1e-5) << seed;
+    EXPECT_NEAR(sim32->get_expectation(r32), sim64->get_expectation(r64),
+                1e-4)
+        << seed;
+    EXPECT_NEAR(sim32->get_overlap(r32), sim64->get_overlap(r64), 1e-5)
+        << seed;
+    if (base == "serial") {
+      serial_f32 = r32;
+    } else if (base == "threaded") {
+      // Determinism contract at f32: Exec policy (serial vs threaded is
+      // exactly that switch) never changes the bits.
+      EXPECT_EQ(r32.max_abs_diff(serial_f32), 0.0) << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecisionAgreementTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
 TEST(ProbabilitiesInPlace, MatchesAllocatingVariant) {
   const TermList terms = labs_terms(9);
   const FurQaoaSimulator sim(terms, {});

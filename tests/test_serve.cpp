@@ -308,8 +308,13 @@ TEST(ServeSessionCache, EvictsLeastRecentlyUsedUnderByteBudget) {
   const TermList problem_b = test_problem(6, 2);
   const TermList problem_c = test_problem(6, 3);
   const SimulatorSpec spec = SimulatorSpec::parse("serial");
-  const std::uint64_t one =
-      session_footprint_bytes(6, problem_a.size());
+  // Size the budget from a built session's actual footprint (the same
+  // overload the cache charges), so the two-of-three arithmetic holds at
+  // whatever amplitude precision the spec resolves to (QOKIT_PREC leg).
+  const std::uint64_t one = [&] {
+    const api::ProblemSession probe(problem_a, spec);
+    return session_footprint_bytes(probe);
+  }();
   // Room for two sessions, not three.
   SessionCache cache(2 * one + one / 2);
 
@@ -370,15 +375,22 @@ TEST(ServeSessionCache, BuiltSessionFootprintChargesPlanAndU16Buffers) {
   // uint16 code array plus the 65536-entry phase table -- so u16 sessions
   // were undercounted by over a MiB and evictions lagged the budget.
   const TermList problem = test_problem(10, 1);
-  const std::uint64_t base = session_footprint_bytes(10, problem.size());
   const api::ProblemSession u16_session(problem,
                                         SimulatorSpec::parse("u16"));
+  // Charge at the precision the session actually resolved (prec=auto may
+  // mean f32 under the QOKIT_PREC leg; the phase table and statevectors
+  // then cost half).
+  const Precision prec = u16_session.simulator().precision();
+  const std::uint64_t base =
+      session_footprint_bytes(10, problem.size(), prec);
   const std::uint64_t dim = std::uint64_t{1} << 10;
   EXPECT_GE(session_footprint_bytes(u16_session),
-            base + dim * 2 + std::uint64_t{65536} * sizeof(cdouble));
+            base + dim * 2 + std::uint64_t{65536} * amplitude_bytes(prec));
   // Plain f64-diagonal sessions charge at least the estimate (plus plan).
   const api::ProblemSession plain(problem, SimulatorSpec::parse("serial"));
-  EXPECT_GE(session_footprint_bytes(plain), base);
+  EXPECT_GE(session_footprint_bytes(plain),
+            session_footprint_bytes(10, problem.size(),
+                                    plain.simulator().precision()));
 }
 
 // ------------------------------------------------------------ server

@@ -270,9 +270,13 @@ TEST(SimdEndToEnd, SimulatorBackendsMatchScalarDispatch) {
     force_simd_level(detect_simd_level());
     const auto sim_v = choose_simulator(terms, name);
     const StateVector r_v = sim_v->simulate_qaoa(gammas, betas);
-    EXPECT_LE(r_s.max_abs_diff(r_v), 1e-11) << name;
-    EXPECT_NEAR(sim_v->get_expectation(r_v), e_s, 1e-10) << name;
-    EXPECT_NEAR(sim_v->get_overlap(r_v), o_s, 1e-10) << name;
+    // Under QOKIT_PREC=f32 the names resolve to float amplitudes, where
+    // the scalar and vector families agree to float-rounding scale.
+    const bool f32 = sim_s->precision() == Precision::F32;
+    EXPECT_LE(r_s.max_abs_diff(r_v), f32 ? 5e-6 : 1e-11) << name;
+    EXPECT_NEAR(sim_v->get_expectation(r_v), e_s, f32 ? 1e-4 : 1e-10)
+        << name;
+    EXPECT_NEAR(sim_v->get_overlap(r_v), o_s, f32 ? 1e-4 : 1e-10) << name;
   }
 }
 

@@ -41,6 +41,16 @@ simd-flags
     make the base binary emit illegal instructions on plain x86-64 --
     exactly the bug class the runtime CPUID dispatch exists to prevent.
 
+float-accum
+    No float-typed accumulators in reduction code under src/simd/ or
+    src/pipeline/. The mixed-precision contract (DESIGN.md "Mixed
+    precision") narrows amplitudes to float32 but keeps every reduction
+    -- norms, expectations, overlaps, sampler CDFs -- in double: a float
+    accumulator over 2^n terms loses ~n/2 bits and silently breaks the
+    pinned f32 error budget. The rule flags accumulator-named float
+    declarations (acc/sum/total/norm/dot/cdf/...); per-element float
+    temporaries (re/im/amp loads) are fine -- widen at the `+=`.
+
 pipeline-geometry
     No bare geometry literals (tile_log2/group_qubits/chunk_log2 assigned
     a numeric constant) in src/pipeline/ outside geometry.hpp. The tiling
@@ -121,6 +131,18 @@ KERNEL_ALLOC_RE = re.compile(
     r"std::vector\b|\bpush_back\s*\(|\bemplace_back\s*\(|"
     r"\.resize\s*\(|\.reserve\s*\(|std::string\b|std::deque\b|std::map\b|"
     r"std::unordered_map\b"
+)
+
+# ---------------------------------------------------------- float-accum
+# A float (or complex<float>) declaration whose name smells like a
+# running reduction variable. Matches `float acc = 0`, `cfloat dot{};`,
+# `std::complex<float> sum(...)`; does not match pointers (`float* acc`
+# has no space before the identifier), doubles, or per-element
+# temporaries with non-accumulator names.
+FLOAT_ACCUM_DIRS = ("simd/", "pipeline/")
+FLOAT_ACCUM_RE = re.compile(
+    r"(?<![\w:<])(?:float|cfloat|std::complex<float>)\s+"
+    r"(\w*(?:acc|sum|total|norm|dot|cdf|red)\w*)\s*[=({]"
 )
 
 # ----------------------------------------------- pipeline-geometry
@@ -337,6 +359,20 @@ def scan_source(rel: str, text: str) -> List[Finding]:
                     f"heap allocation ('{m.group(0).strip()}') in a SIMD "
                     "kernel translation unit; kernels must honor the "
                     "zero-steady-state-allocation contract",
+                )
+
+    # float-accum
+    if any(f"/{d}" in f"/{rel}" for d in FLOAT_ACCUM_DIRS):
+        for idx, line in enumerate(code_lines):
+            m = FLOAT_ACCUM_RE.search(line)
+            if m:
+                emit(
+                    idx,
+                    "float-accum",
+                    f"float-typed accumulator '{m.group(1)}'; reductions "
+                    "accumulate in double regardless of amplitude "
+                    "precision -- widen per element and keep the running "
+                    "variable double (see DESIGN.md, Mixed precision)",
                 )
 
     # pipeline-geometry
@@ -557,6 +593,54 @@ SELF_TEST_CASES = [
         "std::mutex legacy_mu;  "
         "// qokit-lint: allow(kernel-alloc) -- wrong rule\n",
         "raw-sync",
+    ),
+    (
+        "float accumulator in a SIMD kernel must be flagged",
+        "src/simd/kernels_scalar.cpp",
+        "double n(const cfloat* a, unsigned long n) {\n"
+        "  float acc = 0.0f;\n"
+        "  for (unsigned long i = 0; i < n; ++i)\n"
+        "    acc += a[i].real() * a[i].real();\n"
+        "  return acc;\n"
+        "}\n",
+        "float-accum",
+    ),
+    (
+        "complex<float> running sum in src/pipeline/ must be flagged",
+        "src/pipeline/bad_sum.cpp",
+        "cfloat f(const cfloat* a, unsigned long n) {\n"
+        "  std::complex<float> sum{};\n"
+        "  for (unsigned long i = 0; i < n; ++i) sum += a[i];\n"
+        "  return sum;\n"
+        "}\n",
+        "float-accum",
+    ),
+    (
+        "double accumulator over float amplitudes passes",
+        "src/simd/kernels_avx2.cpp",
+        "double n(const cfloat* a, unsigned long n) {\n"
+        "  double acc = 0.0;\n"
+        "  for (unsigned long i = 0; i < n; ++i) {\n"
+        "    const float re = a[i].real();\n"
+        "    acc += static_cast<double>(re) * re;\n"
+        "  }\n"
+        "  return acc;\n"
+        "}\n",
+        None,
+    ),
+    (
+        "float accumulators outside simd/pipeline are not this rule's "
+        "business",
+        "src/fur/float_misc.cpp",
+        "float f() { float total = 0.0f; return total; }\n",
+        None,
+    ),
+    (
+        "float-accum suppression marker silences",
+        "src/pipeline/legacy_sum.cpp",
+        "float partial_sum = 0.0f;  "
+        "// qokit-lint: allow(float-accum) -- self-test fixture\n",
+        None,
     ),
     (
         "bare geometry literal in src/pipeline/ must be flagged",
